@@ -1,0 +1,264 @@
+(** Command-line driver: run any of the paper's experiments, dump
+    traces, or run a single workload under a chosen runtime version. *)
+
+open Cmdliner
+module E = Repro_experiments
+module Versions = Repro_core.Versions
+module Machine = Repro_machine.Machine
+module Rts = Repro_parrts.Rts
+module Report = Repro_parrts.Report
+
+let out_file =
+  let doc = "Also write the output to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
+
+let emit out s =
+  print_string s;
+  match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" path
+
+let quick =
+  let doc = "Run at reduced problem sizes (fast smoke run)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+(* ---------------- fig1 ---------------- *)
+
+let fig1_cmd =
+  let run quick out =
+    let n = if quick then 3000 else E.Fig1.n_default in
+    let r = E.Fig1.run ~n () in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Fig. 1: parallel runtimes of the sumEuler program for [1..%d]\n" n);
+    Buffer.add_string buf (Repro_util.Tablefmt.to_string (E.Fig1.to_table r));
+    Buffer.add_string buf
+      (Printf.sprintf "ordering as in the paper: %b\n" (E.Fig1.ordering_holds r));
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Reproduce Fig. 1 (sumEuler runtimes, Intel 8-core)")
+    Term.(const run $ quick $ out_file)
+
+(* ---------------- fig2 ---------------- *)
+
+let fig2_cmd =
+  let run quick out width =
+    let n = if quick then 3000 else E.Fig1.n_default in
+    let r = E.Fig2.run ~n () in
+    emit out (E.Fig2.render ~width r)
+  in
+  let width =
+    Arg.(value & opt int 100 & info [ "width" ] ~doc:"Timeline width in columns.")
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Reproduce Fig. 2 (sumEuler traces as ASCII timelines)")
+    Term.(const run $ quick $ out_file $ width)
+
+(* ---------------- fig3 ---------------- *)
+
+let fig3_cmd =
+  let run quick out =
+    let r =
+      if quick then E.Fig3.run ~cores:[ 1; 2; 4; 8; 16 ] ~n_euler:6000 ~n_mat:1000 ()
+      else E.Fig3.run ()
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf "Fig. 3a: relative speedup, sumEuler [1..%d], AMD 16-core\n"
+         r.n_euler);
+    Buffer.add_string buf (Format.asprintf "%a" E.Exp.pp_speedup_table r.sumeuler);
+    Buffer.add_string buf (E.Exp.render_speedup_plot r.sumeuler);
+    Buffer.add_string buf
+      (Printf.sprintf "\nFig. 3b: relative speedup, matmul %dx%d, AMD 16-core\n"
+         r.n_mat r.n_mat);
+    Buffer.add_string buf (Format.asprintf "%a" E.Exp.pp_speedup_table r.matmul);
+    Buffer.add_string buf (E.Exp.render_speedup_plot r.matmul);
+    Buffer.add_string buf
+      (Printf.sprintf "shapes as in the paper: %b\n" (E.Fig3.shapes_hold r));
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Reproduce Fig. 3 (speedups, AMD 16-core)")
+    Term.(const run $ quick $ out_file)
+
+(* ---------------- fig4 ---------------- *)
+
+let fig4_cmd =
+  let run quick out width =
+    let n = if quick then 400 else 1000 in
+    let r = E.Fig4.run ~n () in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (E.Fig4.render ~width r);
+    Buffer.add_string buf
+      (Printf.sprintf "shapes as in the paper: %b\n" (E.Fig4.shapes_hold r));
+    emit out (Buffer.contents buf)
+  in
+  let width =
+    Arg.(value & opt int 100 & info [ "width" ] ~doc:"Timeline width in columns.")
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Reproduce Fig. 4 (matmul traces, virtual PEs)")
+    Term.(const run $ quick $ out_file $ width)
+
+(* ---------------- fig5 ---------------- *)
+
+let fig5_cmd =
+  let run quick out =
+    let r =
+      if quick then E.Fig5.run ~cores:[ 1; 2; 4; 8; 16 ] ~n:200 ()
+      else E.Fig5.run ()
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Fig. 5: relative speedup, shortest paths (%d nodes), AMD 16-core\n" r.n);
+    Buffer.add_string buf (Format.asprintf "%a" E.Exp.pp_speedup_table r.series);
+    Buffer.add_string buf (E.Exp.render_speedup_plot r.series);
+    Buffer.add_string buf
+      (Printf.sprintf "shapes as in the paper: %b\n" (E.Fig5.shapes_hold r));
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Reproduce Fig. 5 (shortest-paths speedups)")
+    Term.(const run $ quick $ out_file)
+
+(* ---------------- run: single workload ---------------- *)
+
+let version_conv =
+  let versions ncaps machine =
+    [
+      ("plain", Versions.gph_plain ~machine ~ncaps ());
+      ("bigalloc", Versions.gph_bigalloc ~machine ~ncaps ());
+      ("sync", Versions.gph_sync ~machine ~ncaps ());
+      ("steal", Versions.gph_steal ~machine ~ncaps ());
+      ("steal-eager", Versions.with_eager (Versions.gph_steal ~machine ~ncaps ()));
+      ("semi", Versions.gph_semi_distributed ~machine ~ncaps ());
+      ("eden", Versions.eden ~machine ~npes:ncaps ());
+      ("gum", Versions.gum ~machine ~npes:ncaps ());
+    ]
+  in
+  ( versions,
+    [ "plain"; "bigalloc"; "sync"; "steal"; "steal-eager"; "semi"; "eden"; "gum" ] )
+
+let run_cmd =
+  let make_versions, version_names = version_conv in
+  let workload =
+    let doc = "Workload: sumeuler, matmul or apsp." in
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("sumeuler", `Sumeuler); ("matmul", `Matmul); ("apsp", `Apsp) ])) None
+      & info [] ~doc ~docv:"WORKLOAD")
+  in
+  let version =
+    let doc =
+      Printf.sprintf "Runtime version: %s." (String.concat ", " version_names)
+    in
+    Arg.(value & opt string "steal" & info [ "variant"; "v" ] ~doc)
+  in
+  let ncaps = Arg.(value & opt int 8 & info [ "ncaps"; "p" ] ~doc:"Capabilities/PEs.") in
+  let size = Arg.(value & opt (some int) None & info [ "size"; "n" ] ~doc:"Problem size.") in
+  let machine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("intel8", Machine.intel8); ("amd16", Machine.amd16) ]) Machine.intel8
+      & info [ "machine" ] ~doc:"Machine model: intel8 or amd16.")
+  in
+  let trace_flag = Arg.(value & flag & info [ "trace" ] ~doc:"Print the timeline.") in
+  let svg_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~doc:"Write the timeline as SVG to $(docv)." ~docv:"FILE")
+  in
+  let events_flag =
+    Arg.(value & flag & info [ "events" ] ~doc:"Print the event-log summary.")
+  in
+  let run wl version ncaps size machine trace_flag svg_file events_flag out =
+    let versions = make_versions ncaps machine in
+    let v =
+      match List.assoc_opt version versions with
+      | Some v -> v
+      | None -> failwith ("unknown version " ^ version)
+    in
+    let is_eden = Repro_parrts.Config.is_distributed v.Versions.config in
+    let is_gum = version = "gum" in
+    let work () =
+      match wl with
+      | `Sumeuler ->
+          let n = Option.value size ~default:15000 in
+          if is_gum then ignore (Repro_workloads.Sumeuler.gum ~n ())
+          else if is_eden then ignore (Repro_workloads.Sumeuler.eden ~n ())
+          else ignore (Repro_workloads.Sumeuler.gph ~n ())
+      | `Matmul ->
+          let n = Option.value size ~default:1000 in
+          if is_eden then begin
+            let q = max 1 (int_of_float (ceil (sqrt (float_of_int (ncaps - 1))))) in
+            let n = n - (n mod q) in
+            ignore (Repro_workloads.Matmul.eden_cannon ~n ~q ())
+          end
+          else ignore (Repro_workloads.Matmul.gph ~n ())
+      | `Apsp ->
+          let n = Option.value size ~default:400 in
+          if is_eden then ignore (Repro_workloads.Apsp.eden_ring ~n ())
+          else ignore (Repro_workloads.Apsp.gph ~n ())
+    in
+    let _, report = Rts.run v.Versions.config work in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "%s\n" v.Versions.label);
+    Buffer.add_string buf (Format.asprintf "%a\n" Report.pp report);
+    if trace_flag then
+      Buffer.add_string buf (Repro_trace.Render.timeline ~width:100 report.trace);
+    if events_flag then
+      Buffer.add_string buf
+        (Format.asprintf "%a\n" Repro_trace.Eventlog.pp_summary
+           (Repro_trace.Eventlog.summarise ~ncaps report.eventlog));
+    (match svg_file with
+    | Some path ->
+        Repro_trace.Render_svg.to_file ~title:v.Versions.label report.trace path;
+        Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
+    | None -> ());
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one runtime version")
+    Term.(
+      const run $ workload $ version $ ncaps $ size $ machine_arg $ trace_flag
+      $ svg_file $ events_flag $ out_file)
+
+(* ---------------- all ---------------- *)
+
+let all_cmd =
+  let run quick =
+    let argv_of name = Array.of_list ([ "repro_cli"; name ] @ if quick then [ "--quick" ] else []) in
+    List.iter
+      (fun (name, cmd) ->
+        Printf.printf "==== %s ====\n%!" name;
+        ignore (Cmd.eval ~argv:(argv_of name) cmd))
+      [
+        ("fig1", fig1_cmd);
+        ("fig2", fig2_cmd);
+        ("fig3", fig3_cmd);
+        ("fig4", fig4_cmd);
+        ("fig5", fig5_cmd);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every figure and table")
+    Term.(const run $ quick)
+
+let main =
+  let doc =
+    "Reproduction of 'Comparing and Optimising Parallel Haskell \
+     Implementations for Multicore Machines' (ICPP 2009)"
+  in
+  Cmd.group
+    (Cmd.info "repro-cli" ~version:"1.0.0" ~doc)
+    [ fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; run_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

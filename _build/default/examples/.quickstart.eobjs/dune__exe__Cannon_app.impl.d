@@ -1,0 +1,1 @@
+examples/cannon_app.ml: Array Float Printf Repro_core Repro_parrts Repro_trace Repro_workloads Sys

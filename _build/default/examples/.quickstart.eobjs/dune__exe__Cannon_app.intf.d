@@ -1,0 +1,1 @@
+examples/cannon_app.mli:

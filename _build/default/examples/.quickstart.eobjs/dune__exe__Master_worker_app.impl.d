@@ -1,0 +1,1 @@
+examples/master_worker_app.ml: Array List Printf Repro_core Repro_parrts Repro_util Sys

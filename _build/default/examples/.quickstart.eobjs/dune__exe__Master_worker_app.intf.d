@@ -1,0 +1,1 @@
+examples/master_worker_app.mli:

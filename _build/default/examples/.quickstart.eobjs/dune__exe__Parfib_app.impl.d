@@ -1,0 +1,1 @@
+examples/parfib_app.ml: Array List Printf Repro_core Repro_parrts Repro_util Repro_workloads Sys

@@ -1,0 +1,1 @@
+examples/parfib_app.mli:

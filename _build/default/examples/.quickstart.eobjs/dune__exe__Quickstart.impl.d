@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fun List Printf Repro_core Repro_parrts Repro_util

@@ -1,0 +1,1 @@
+examples/ring_stats_app.ml: Float Fun List Printf Repro_core Repro_parrts Repro_util

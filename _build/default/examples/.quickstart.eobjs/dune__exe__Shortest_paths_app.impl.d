@@ -1,0 +1,1 @@
+examples/shortest_paths_app.ml: Array Float Printf Repro_core Repro_parrts Repro_workloads Sys

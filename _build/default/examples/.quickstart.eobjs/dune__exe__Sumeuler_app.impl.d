@@ -1,0 +1,1 @@
+examples/sumeuler_app.ml: Array List Printf Repro_core Repro_parrts Repro_trace Repro_util Repro_workloads Sys

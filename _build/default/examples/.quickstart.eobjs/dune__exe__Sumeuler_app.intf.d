@@ -1,0 +1,1 @@
+examples/sumeuler_app.mli:

@@ -1,0 +1,52 @@
+(** sumEuler: the paper's first benchmark as a standalone application.
+
+    Computes sum(phi(k), k <= n) under all five runtime versions of the
+    paper's Fig. 1 and prints the comparison table plus the timeline
+    trace of the best GpH version.
+
+    {v dune exec examples/sumeuler_app.exe [n] v} *)
+
+module Rts = Repro_parrts.Rts
+module Versions = Repro_core.Versions
+module Report = Repro_parrts.Report
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8000
+  in
+  Printf.printf "sumEuler [1..%d] on the simulated Intel 8-core\n\n" n;
+  let table =
+    Repro_util.Tablefmt.create
+      ~aligns:[ Left; Right; Right; Right ]
+      [ "version"; "runtime"; "utilisation"; "GC pauses" ]
+  in
+  let traces = ref [] in
+  List.iter
+    (fun (v : Versions.version) ->
+      let is_eden = Repro_parrts.Config.is_distributed v.config in
+      let result, report =
+        Rts.run v.config (fun () ->
+            if is_eden then Repro_workloads.Sumeuler.eden ~n ()
+            else Repro_workloads.Sumeuler.gph ~n ())
+      in
+      assert (result = Repro_workloads.Euler.sum_euler_ref n);
+      traces := (v.label, report) :: !traces;
+      Repro_util.Tablefmt.add_row table
+        [
+          v.label;
+          Printf.sprintf "%.3f s" (Report.elapsed_s report);
+          Printf.sprintf "%.1f%%" (100.0 *. report.utilisation);
+          Printf.sprintf "%.1f ms" (float_of_int report.gc.pause_total_ns /. 1e6);
+        ])
+    (Versions.fig1_versions ());
+  Repro_util.Tablefmt.print table;
+  print_newline ();
+  (* show the trace of the work-stealing version *)
+  (match List.assoc_opt "GpH, above + work stealing for sparks"
+           (List.map (fun (l, r) -> (l, r)) !traces)
+   with
+  | Some report ->
+      print_string
+        (Repro_trace.Render.timeline ~width:100
+           ~title:"timeline: GpH + work stealing" report.Report.trace)
+  | None -> ())

@@ -1,0 +1,1 @@
+lib/core/eden.ml: Array List Queue Repro_parrts Repro_util

@@ -1,0 +1,1 @@
+lib/core/gph.ml: List Repro_heap Repro_parrts Repro_util

@@ -1,0 +1,1 @@
+lib/core/gph.mli: Repro_heap Repro_util

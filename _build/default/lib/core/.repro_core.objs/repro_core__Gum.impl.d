@@ -1,0 +1,1 @@
+lib/core/gum.ml: Array Fun Hashtbl List Option Queue Repro_parrts Repro_util

@@ -1,0 +1,1 @@
+lib/core/skeletons.ml: Array Eden List Queue Repro_parrts Repro_util

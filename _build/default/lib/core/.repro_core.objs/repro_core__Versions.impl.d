@@ -1,0 +1,1 @@
+lib/core/versions.ml: Printf Repro_heap Repro_machine Repro_mp Repro_parrts String

@@ -1,0 +1,1 @@
+lib/core/versions.mli: Repro_machine Repro_mp Repro_parrts

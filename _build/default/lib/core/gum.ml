@@ -1,0 +1,314 @@
+(** GUM: the distributed-memory implementation of GpH (paper
+    Sec. III-B; Trinder et al., PLDI'96).
+
+    Where Eden gives the programmer explicit processes, GUM keeps GpH's
+    implicit model on distributed heaps by adding, per the paper:
+
+    - {b passive work distribution}: each PE keeps a local spark pool;
+      an idle PE sends a [FISH] message to a random PE, which replies
+      with a [SCHEDULE] carrying a spark (a serialised subgraph) or a
+      [NOFISH] refusal — work moves only when requested;
+    - {b virtual shared memory by global addressing}: graph shipped to
+      another PE refers to remote data through {e global addresses};
+      forcing such a reference sends a [FETCH] and blocks until the
+      owner's [RESUME] arrives with the data, which is then cached
+      locally;
+    - {b weighted reference counting} for global garbage collection:
+      every global address carries weight; shipping a reference splits
+      the weight, returning it reunites; the owner drops its table
+      entry when all weight has come home.
+
+    This module implements all three on the distributed runtime and a
+    [parList]-style API on top, so the same GpH-shaped program can run
+    on shared memory (via {!Gph}) or on GUM — the comparison the
+    paper's infrastructure historically supported. *)
+
+module Cost = Repro_util.Cost
+module Rng = Repro_util.Rng
+module Rts = Repro_parrts.Rts
+module Api = Repro_parrts.Rts.Api
+
+(* ------------------------------------------------------------------ *)
+(* Message-size constants (protocol overheads, bytes)                  *)
+(* ------------------------------------------------------------------ *)
+
+let fish_bytes = 48
+let nofish_bytes = 32
+let schedule_overhead_bytes = 96
+let fetch_bytes = 64
+let resume_overhead_bytes = 48
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A GUM spark: the work closure runs on whichever PE schedules it;
+    [graph_bytes] is the size of the subgraph serialised into the
+    SCHEDULE message. *)
+type gum_spark = { run : unit -> unit; graph_bytes : int }
+
+type pe_state = {
+  pool : gum_spark Queue.t;
+  mutable fishing : bool;  (** a FISH from this PE is in flight *)
+  mutable fish_backoff_ns : int;
+  rng : Rng.t;
+}
+
+type stats = {
+  mutable fish_sent : int;
+  mutable nofish : int;
+  mutable schedules : int;
+  mutable fetches : int;
+}
+
+type ctx = {
+  pes : pe_state array;
+  stats : stats;
+  (* global-address table: one per owner PE, id -> outstanding weight *)
+  git : (int * int, int) Hashtbl.t;  (** (owner, id) -> weight out *)
+  mutable next_gaddr : int;
+}
+
+let current : ctx option ref = ref None
+
+let ctx () =
+  match !current with
+  | Some c -> c
+  | None -> failwith "Gum: not inside Gum.run"
+
+let stats () = (ctx ()).stats
+
+(* ------------------------------------------------------------------ *)
+(* Weighted reference counting                                         *)
+(* ------------------------------------------------------------------ *)
+
+let max_weight = 1 lsl 16
+
+(** A reference to data living on [owner]'s heap.  The [payload] is
+    the real OCaml value (the simulated "graph"); non-owners must
+    {!fetch} before using it, which charges the communication and
+    caches it. *)
+type 'a gref = {
+  owner : int;
+  gaddr : int;
+  bytes : int;
+  payload : 'a;
+  mutable weight : int;  (** weight held by this handle *)
+  cache : (int, unit) Hashtbl.t;  (** PEs that have fetched a copy *)
+}
+
+(** Publish a value into the global heap of the calling PE. *)
+let global ~bytes payload =
+  let c = ctx () in
+  let owner = Api.my_cap () in
+  c.next_gaddr <- c.next_gaddr + 1;
+  let gaddr = c.next_gaddr in
+  (* the owner's table records the weight given out to handles *)
+  Hashtbl.replace c.git (owner, gaddr) max_weight;
+  {
+    owner;
+    gaddr;
+    bytes;
+    payload;
+    weight = max_weight;
+    cache = Hashtbl.create 4;
+  }
+
+(* Split a handle's weight when it is shipped inside a spark. *)
+let split_weight (r : 'a gref) =
+  if r.weight <= 1 then r.weight (* degenerate: ship whole weight *)
+  else begin
+    let half = r.weight / 2 in
+    r.weight <- r.weight - half;
+    half
+  end
+
+(* Return [w] weight to the owner's table; drop the entry when all
+   weight is home. *)
+let return_weight c (r : 'a gref) w =
+  let key = (r.owner, r.gaddr) in
+  match Hashtbl.find_opt c.git key with
+  | None -> ()
+  | Some out ->
+      let out = out - w in
+      if out <= 0 then Hashtbl.remove c.git key
+      else Hashtbl.replace c.git key out
+
+(** Release the calling handle's weight (the holder no longer needs
+    the global address). *)
+let release (r : 'a gref) =
+  let c = ctx () in
+  return_weight c r r.weight;
+  r.weight <- 0
+
+(** Number of live global-address-table entries (for leak checks). *)
+let live_gaddrs () = Hashtbl.length (ctx ()).git
+
+(** Force a global reference on the calling PE.  Owner (or a PE that
+    has already fetched): free.  Otherwise: FETCH to the owner, block
+    until the RESUME delivers the payload, cache it. *)
+let fetch (r : 'a gref) : 'a =
+  let c = ctx () in
+  let me = Api.my_cap () in
+  if me = r.owner || Hashtbl.mem r.cache me then r.payload
+  else begin
+    c.stats.fetches <- c.stats.fetches + 1;
+    let arrived = ref false in
+    let waiter = ref None in
+    Api.send ~dst:r.owner ~bytes:fetch_bytes (fun () ->
+        (* owner side: reply with the data *)
+        let rts = Rts.instance () in
+        Rts.send_message rts ~dst:me ~bytes:(resume_overhead_bytes + r.bytes)
+          (fun () ->
+            arrived := true;
+            Hashtbl.replace r.cache me ();
+            Option.iter (fun k -> k ()) !waiter));
+    if not !arrived then Api.block (fun wake -> waiter := Some wake);
+    (* unpacking the arrived graph costs mutator work *)
+    Api.charge (Cost.make (r.bytes / 4) ~alloc:r.bytes);
+    r.payload
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fishing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Record a spark in the local PE's pool (GpH [par] on GUM). *)
+let spark ?(graph_bytes = 256) run =
+  let c = ctx () in
+  Queue.push { run; graph_bytes } c.pes.(Api.my_cap ()).pool;
+  Api.charge (Cost.make 80 ~alloc:32)
+
+(* The fisher daemon: run local sparks; when the pool dries up, fish
+   from random victims with exponential back-off. *)
+let fisher_body c pe () =
+  let st = c.pes.(pe) in
+  let rec loop () =
+    match Queue.take_opt st.pool with
+    | Some s ->
+        st.fish_backoff_ns <- 20_000;
+        s.run ();
+        loop ()
+    | None ->
+        (* fish from a random victim *)
+        let npes = Array.length c.pes in
+        if npes <= 1 then ()
+        else begin
+          let victim =
+            let v = Rng.int st.rng (npes - 1) in
+            if v >= pe then v + 1 else v
+          in
+          c.stats.fish_sent <- c.stats.fish_sent + 1;
+          let reply = ref None in
+          let waiter = ref None in
+          Api.send ~dst:victim ~bytes:fish_bytes (fun () ->
+              (* victim side (scheduler context): pop a spark and
+                 SCHEDULE it back, or refuse *)
+              let rts = Rts.instance () in
+              match Queue.take_opt c.pes.(victim).pool with
+              | Some s ->
+                  c.stats.schedules <- c.stats.schedules + 1;
+                  Rts.send_message rts ~dst:pe
+                    ~bytes:(schedule_overhead_bytes + s.graph_bytes)
+                    (fun () ->
+                      reply := Some (Some s);
+                      Option.iter (fun k -> k ()) !waiter)
+              | None ->
+                  c.stats.nofish <- c.stats.nofish + 1;
+                  Rts.send_message rts ~dst:pe ~bytes:nofish_bytes (fun () ->
+                      reply := Some None;
+                      Option.iter (fun k -> k ()) !waiter));
+          if !reply = None then Api.block (fun wake -> waiter := Some wake);
+          match !reply with
+          | Some (Some s) ->
+              st.fish_backoff_ns <- 20_000;
+              (* unpack the scheduled subgraph *)
+              Api.charge (Cost.make (s.graph_bytes / 4) ~alloc:s.graph_bytes);
+              s.run ();
+              loop ()
+          | Some None | None ->
+              (* refused: back off, then try again *)
+              Api.charge_ns st.fish_backoff_ns;
+              st.fish_backoff_ns <- min 2_000_000 (st.fish_backoff_ns * 2);
+              loop ()
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Running GUM programs                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [main prog]: initialise the GUM layer inside a distributed-mode
+    simulation — per-PE spark pools and one fisher daemon per non-main
+    PE — then run [prog] as the main computation on PE 0.  The fishers
+    keep draining work until the main thread finishes. *)
+let main (prog : unit -> 'a) : 'a =
+  (match !current with
+  | Some _ -> failwith "Gum.main: already inside Gum.main"
+  | None -> ());
+  let cfg = Api.config () in
+  if not (Repro_parrts.Config.is_distributed cfg) then
+    failwith "Gum.main: requires a Distributed heap_mode configuration";
+  let npes = Api.ncaps () in
+  let seed_rng = Rng.create (cfg.seed + 77) in
+  let c =
+    {
+      pes =
+        Array.init npes (fun _ ->
+            {
+              pool = Queue.create ();
+              fishing = false;
+              fish_backoff_ns = 20_000;
+              rng = Rng.split seed_rng;
+            });
+      stats = { fish_sent = 0; nofish = 0; schedules = 0; fetches = 0 };
+      git = Hashtbl.create 64;
+      next_gaddr = 0;
+    }
+  in
+  current := Some c;
+  Fun.protect
+    ~finally:(fun () -> current := None)
+    (fun () ->
+      (* start one fisher per PE except the main PE (whose own thread
+         evaluates the graph, as in GUM's main PE) *)
+      for pe = 1 to npes - 1 do
+        ignore (Api.spawn ~cap:pe (fisher_body c pe))
+      done;
+      prog ())
+
+(** Parallel sum over chunks in GpH style on GUM: the main PE sparks
+    one packet of work per chunk (payload published as global data),
+    evaluates what is left locally, and collects partial results. *)
+let par_chunk_sum ~(chunk_cost : 'a list -> Cost.t)
+    ~(f : 'a list -> int) (pieces : 'a list list) : int =
+  let n = List.length pieces in
+  let results = Array.make n None in
+  let remaining = ref n in
+  let waiter = ref None in
+  List.iteri
+    (fun i piece ->
+      let bytes = 32 + (24 * List.length piece) in
+      spark ~graph_bytes:bytes (fun () ->
+          Api.charge (chunk_cost piece);
+          results.(i) <- Some (f piece);
+          decr remaining;
+          if !remaining = 0 then Option.iter (fun k -> k ()) !waiter))
+    pieces;
+  (* the main thread participates by draining its own pool, exactly
+     like a fisher that never fishes *)
+  let c = ctx () in
+  let my_pool = c.pes.(Api.my_cap ()).pool in
+  let rec drain () =
+    match Queue.take_opt my_pool with
+    | Some s ->
+        s.run ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  if !remaining > 0 then Api.block (fun wake -> waiter := Some wake);
+  Array.fold_left
+    (fun acc r -> match r with Some v -> acc + v | None -> acc)
+    0 results

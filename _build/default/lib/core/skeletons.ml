@@ -1,0 +1,313 @@
+(** Algorithmic and topology skeletons for Eden (paper Sec. II-A).
+
+    These are the higher-order parallel building blocks the paper's
+    Eden benchmarks use: [parMap], [parMapFarm], [parReduce],
+    [parMapReduce] (Google-MapReduce style), [masterWorker], and the
+    topology skeletons [ring], [torus] (used by Cannon's matrix
+    multiplication) and [pipeline].
+
+    Every skeleton is an ordinary higher-order function over the Eden
+    process/channel primitives — and, as the paper stresses, thereby
+    remains amenable to customisation. *)
+
+module Listx = Repro_util.Listx
+module Api = Repro_parrts.Rts.Api
+open Eden
+
+(** Number of PEs available ([noPE] in Eden). *)
+let no_pe () = Api.ncaps ()
+
+(* ------------------------------------------------------------------ *)
+(* Map-like skeletons                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [par_map]: one process per list element (only sensible for short
+    lists of chunky tasks). *)
+let par_map ~tr_in ~tr_out f xs = spawn ~tr_in ~tr_out f xs
+
+(** [par_map_farm]: the usual Eden farm — [np] processes (default one
+    per PE), inputs dealt round-robin ([unshuffle]), outputs
+    re-interleaved ([shuffle]).  Semantically equal to [List.map f]. *)
+let par_map_farm ?np ~tr_in ~tr_out f xs =
+  let np = match np with Some n -> n | None -> no_pe () in
+  let pieces = Listx.unshuffle np xs in
+  let results =
+    spawn ~tr_in:(t_list tr_in) ~tr_out:(t_list tr_out) (List.map f) pieces
+  in
+  Listx.shuffle results
+
+(** [par_reduce f ntr xs]: parallel fold of an associative [f] —
+    each process folds one contiguous chunk, the parent folds the
+    per-process results (the paper's Sec. II-A.1 example). *)
+let par_reduce ?np ~tr f ntr xs =
+  let np = match np with Some n -> n | None -> no_pe () in
+  let pieces = Listx.split_into_n np xs in
+  let partials =
+    spawn ~tr_in:(t_list tr) ~tr_out:tr (List.fold_left f ntr) pieces
+  in
+  List.fold_left f ntr partials
+
+(** [par_map_reduce ~mapf ~reducef ~merge xs]: Google-MapReduce as in
+    the paper: [mapf] turns each input into key-value pairs, [reducef]
+    reduces the values of one key {e locally} on the mapping process,
+    and [merge] combines the per-process partial reductions of the same
+    key at the parent. *)
+let par_map_reduce ?np ~tr_key ~tr_val ~(mapf : 'c -> ('d * 'a) list)
+    ~(reducef : 'd -> 'a list -> 'b) ~(merge : 'd -> 'b list -> 'b)
+    (xs : 'c list) : ('d * 'b) list =
+  ignore tr_val;
+  let np = match np with Some n -> n | None -> no_pe () in
+  let pieces = Listx.unshuffle np xs in
+  let worker piece =
+    let pairs = List.concat_map mapf piece in
+    List.map (fun (k, vs) -> (k, reducef k vs)) (Listx.group_by_key pairs)
+  in
+  let tr_piece =
+    {
+      bytes = (fun (xs : 'c list) -> 24 + (24 * List.length xs));
+      nf_cycles = (fun xs -> 8 + List.length xs);
+    }
+  in
+  let tr_out = t_list (t_pair tr_key { bytes = (fun _ -> 24); nf_cycles = (fun _ -> 4) }) in
+  let partials = spawn ~tr_in:tr_piece ~tr_out worker pieces in
+  let grouped = Listx.group_by_key (List.concat partials) in
+  List.map (fun (k, bs) -> (k, merge k bs)) grouped
+
+(* ------------------------------------------------------------------ *)
+(* Master/worker                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [master_worker ~np ~prefetch ~tr_task ~tr_res f tasks]: a master
+    process farms a dynamically growing task pool out to [np] worker
+    processes.  Each worker application [f t] yields new tasks plus a
+    result ([a -> ([a], b)]), supporting backtracking/branch-and-bound
+    style search (paper Sec. II-A).  Results are returned in completion
+    order. *)
+let master_worker ?np ?(prefetch = 2) ~tr_task ~tr_res
+    (f : 'a -> 'a list * 'b) (initial : 'a list) : 'b list =
+  let np = match np with Some n -> n | None -> max 1 (no_pe () - 1) in
+  let me = Api.my_cap () in
+  let npes = Api.ncaps () in
+  let worker_pes = List.init np (fun i -> (me + 1 + i) mod npes) in
+  (* task streams, one per worker, owned by that worker's PE;
+     result stream owned by the master *)
+  let task_streams = List.map (fun pe -> new_stream_at ~pe) worker_pes in
+  let results :
+      (int * 'a list * 'b) stream =
+    new_stream ()
+  in
+  let tr_reply =
+    {
+      bytes =
+        (fun ((_, ts, r) : int * 'a list * 'b) ->
+          32 + List.fold_left (fun acc t -> acc + tr_task.bytes t) 0 ts
+          + tr_res.bytes r);
+      nf_cycles =
+        (fun (_, ts, r) ->
+          8 + List.fold_left (fun acc t -> acc + tr_task.nf_cycles t) 0 ts
+          + tr_res.nf_cycles r);
+    }
+  in
+  (* start workers *)
+  List.iteri
+    (fun wid (pe, ts) ->
+      instantiate_at ~pe (fun () ->
+          let rec loop () =
+            match next ts with
+            | None -> ()
+            | Some task ->
+                let new_tasks, result = f task in
+                put tr_reply results (wid, new_tasks, result);
+                loop ()
+          in
+          loop ()))
+    (List.combine worker_pes task_streams);
+  let task_arr = Array.of_list task_streams in
+  (* master loop *)
+  let pool = Queue.create () in
+  List.iter (fun t -> Queue.push t pool) initial;
+  let outstanding = ref 0 in
+  let out = ref [] in
+  let send_task wid =
+    match Queue.take_opt pool with
+    | None -> ()
+    | Some t ->
+        incr outstanding;
+        put tr_task task_arr.(wid) t
+  in
+  (* initial prefetch: [prefetch] tasks per worker *)
+  List.iteri
+    (fun wid _ ->
+      for _ = 1 to prefetch do
+        send_task wid
+      done)
+    worker_pes;
+  let rec master () =
+    if !outstanding = 0 then ()
+    else
+      match next results with
+      | None -> ()
+      | Some (wid, new_tasks, result) ->
+          decr outstanding;
+          out := result :: !out;
+          List.iter (fun t -> Queue.push t pool) new_tasks;
+          (* keep the returning worker (and all others) fed *)
+          send_task wid;
+          while
+            (not (Queue.is_empty pool))
+            && !outstanding < np * prefetch
+          do
+            (* top up the least-loaded workers round-robin *)
+            send_task (!outstanding mod np)
+          done;
+          master ()
+  in
+  master ();
+  (* shut the workers down *)
+  List.iter close task_streams;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Topology skeletons                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [ring ~n ~tr_ring ~distribute ~worker]: [n] processes arranged in a
+    unidirectional ring (paper Sec. II-A: topology skeletons).  Process
+    [k] receives [distribute k] as its static input, reads ring traffic
+    from its left neighbour, writes ring traffic to its right neighbour
+    and finally produces an output; the parent collects all outputs in
+    ring order.
+
+    The worker receives [(recv, send, close_right)]: [recv] yields
+    [None] once the left neighbour closed its stream. *)
+let ring ~n ~tr_ring ~tr_out
+    ~(distribute : int -> 'i)
+    ~(worker :
+       int ->
+       'i ->
+       (unit -> 'r option) ->
+       ('r -> unit) ->
+       (unit -> unit) ->
+       'o) : 'o list =
+  if n <= 0 then invalid_arg "Skeletons.ring: n must be positive";
+  let npes = Api.ncaps () in
+  let me = Api.my_cap () in
+  let pe_of k = (me + 1 + k) mod npes in
+  (* ring link k: stream from process (k-1+n) mod n into process k,
+     owned by process k's PE *)
+  let links = Array.init n (fun k -> new_stream_at ~pe:(pe_of k)) in
+  let outs = List.init n (fun _ -> new_chan ()) in
+  List.iteri
+    (fun k out ->
+      instantiate_at ~pe:(pe_of k) (fun () ->
+          let left = links.(k) in
+          let right = links.((k + 1) mod n) in
+          let recv () = next left in
+          let send_right r = put tr_ring right r in
+          let close_right () = close right in
+          let o = worker k (distribute k) recv send_right close_right in
+          send tr_out out o))
+    outs;
+  List.map recv outs
+
+(** [torus ~rows ~cols ~tr_a ~tr_b ~worker]: a 2-D toroid of processes;
+    within each row, ['a]-values circulate leftwards and within each
+    column ['b]-values circulate upwards — the communication structure
+    of Cannon's algorithm.  Worker [(r,c)] gets receive/send closures
+    for both rings plus its coordinates. *)
+let torus ~rows ~cols ~tr_a ~tr_b ~tr_out
+    ~(worker :
+       row:int ->
+       col:int ->
+       recv_a:(unit -> 'a option) ->
+       send_a:('a -> unit) ->
+       recv_b:(unit -> 'b option) ->
+       send_b:('b -> unit) ->
+       'o) : 'o list =
+  if rows <= 0 || cols <= 0 then invalid_arg "Skeletons.torus: bad dimensions";
+  let n = rows * cols in
+  let npes = Api.ncaps () in
+  let me = Api.my_cap () in
+  let pe_of r c = (me + 1 + (r * cols) + c) mod npes in
+  (* a_in.(r).(c): horizontal stream into (r,c), i.e. from (r, c+1)
+     [A-blocks shift left]; b_in.(r).(c): vertical stream into (r,c),
+     i.e. from (r+1, c) [B-blocks shift up]. *)
+  let a_in = Array.init rows (fun r -> Array.init cols (fun c -> new_stream_at ~pe:(pe_of r c))) in
+  let b_in = Array.init rows (fun r -> Array.init cols (fun c -> new_stream_at ~pe:(pe_of r c))) in
+  let outs = List.init n (fun _ -> new_chan ()) in
+  List.iteri
+    (fun idx out ->
+      let r = idx / cols and c = idx mod cols in
+      instantiate_at ~pe:(pe_of r c) (fun () ->
+          let recv_a () = next a_in.(r).(c) in
+          let recv_b () = next b_in.(r).(c) in
+          (* sending A leftwards: our A goes to (r, c-1)'s a_in *)
+          let send_a v = put tr_a a_in.(r).((c + cols - 1) mod cols) v in
+          let send_b v = put tr_b b_in.((r + rows - 1) mod rows).(c) v in
+          let o = worker ~row:r ~col:c ~recv_a ~send_a ~recv_b ~send_b in
+          close a_in.(r).((c + cols - 1) mod cols);
+          close b_in.((r + rows - 1) mod rows).(c);
+          send tr_out out o))
+    outs;
+  List.map recv outs
+
+(** [div_conquer]: Eden's depth-bounded divide-and-conquer skeleton
+    (Berthold & Loogen, "skeletons for recursively unfolding process
+    topologies").  The call tree is unfolded into {e processes} down to
+    [depth]; below that, problems are solved by local sequential
+    recursion.  [combine p sub_solutions] joins children's solutions. *)
+let rec div_conquer ~(tr : 's trans) ~depth ~(divide : 'p -> 'p list)
+    ~(is_trivial : 'p -> bool) ~(solve : 'p -> 's)
+    ~(combine : 'p -> 's list -> 's) (problem : 'p) : 's =
+  let rec local p =
+    if is_trivial p then solve p else combine p (List.map local (divide p))
+  in
+  if depth <= 0 || is_trivial problem then local problem
+  else begin
+    let subs = divide problem in
+    (* ship each sub-problem to a child process which recursively
+       unfolds one level less *)
+    let tr_problem : 'p trans =
+      { bytes = (fun _ -> 256); nf_cycles = (fun _ -> 32) }
+    in
+    let solutions =
+      spawn ~tr_in:tr_problem ~tr_out:tr
+        (fun p ->
+          div_conquer ~tr ~depth:(depth - 1) ~divide ~is_trivial ~solve
+            ~combine p)
+        subs
+    in
+    combine problem solutions
+  end
+
+(** [pipeline ~tr stages xs]: chain the [stages] as processes connected
+    by element streams; the list [xs] flows through every stage. *)
+let pipeline ~tr (stages : ('a -> 'a) list) (xs : 'a list) : 'a list =
+  match stages with
+  | [] -> xs
+  | _ ->
+      let nstages = List.length stages in
+      let npes = Api.ncaps () in
+      let me = Api.my_cap () in
+      let pe_of k = (me + 1 + k) mod npes in
+      (* stream into stage k (stage 0 fed by the parent); final stream
+         back to the parent *)
+      let streams =
+        Array.init (nstages + 1) (fun k ->
+            if k = nstages then new_stream_at ~pe:me
+            else new_stream_at ~pe:(pe_of k))
+      in
+      List.iteri
+        (fun k stage ->
+          instantiate_at ~pe:(pe_of k) (fun () ->
+              let rec loop () =
+                match next streams.(k) with
+                | None -> close streams.(k + 1)
+                | Some v ->
+                    put tr streams.(k + 1) (stage v);
+                    loop ()
+              in
+              loop ()))
+        stages;
+      put_list tr streams.(0) xs;
+      to_list streams.(nstages)

@@ -1,0 +1,1 @@
+lib/deque/spsc_queue.mli:

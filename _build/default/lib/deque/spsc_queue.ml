@@ -1,0 +1,49 @@
+(** Unbounded FIFO queue used for simulated message-passing mailboxes.
+
+    The simulator is single-threaded, so this is a plain two-list
+    functional queue wrapped in mutable state; the interface mirrors the
+    mailbox semantics the Eden middleware layer needs (peek, ordered
+    delivery, length accounting for backpressure statistics). *)
+
+type 'a t = {
+  mutable front : 'a list;
+  mutable back : 'a list; (* reversed *)
+  mutable length : int;
+}
+
+let create () = { front = []; back = []; length = 0 }
+let length q = q.length
+let is_empty q = q.length = 0
+
+let enqueue q v =
+  q.back <- v :: q.back;
+  q.length <- q.length + 1
+
+let normalize q =
+  match q.front with
+  | [] ->
+      q.front <- List.rev q.back;
+      q.back <- []
+  | _ -> ()
+
+let peek q =
+  normalize q;
+  match q.front with [] -> None | x :: _ -> Some x
+
+let dequeue q =
+  normalize q;
+  match q.front with
+  | [] -> None
+  | x :: rest ->
+      q.front <- rest;
+      q.length <- q.length - 1;
+      Some x
+
+let to_list q = q.front @ List.rev q.back
+
+let iter f q = List.iter f (to_list q)
+
+let clear q =
+  q.front <- [];
+  q.back <- [];
+  q.length <- 0

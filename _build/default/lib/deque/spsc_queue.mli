@@ -1,0 +1,14 @@
+(** Unbounded FIFO queue used for simulated message-passing mailboxes
+    (plain two-list queue; the simulator is single-threaded). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val enqueue : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val dequeue : 'a t -> 'a option
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit
+val clear : 'a t -> unit

@@ -1,0 +1,120 @@
+(** Chase–Lev lock-free work-stealing deque (SPAA 2005).
+
+    This is the data structure the paper adopts for GpH spark pools
+    (Sec. IV-A.2, citation [31]): the owner capability pushes and pops
+    sparks at the bottom without synchronisation in the common case,
+    while idle capabilities steal from the top with a single CAS.
+
+    The implementation follows the dynamic circular-array formulation:
+
+    - [push] (owner only): write at [bottom], increment [bottom];
+    - [pop] (owner only): decrement [bottom]; if the deque might now be
+      empty, race a CAS on [top] against concurrent stealers;
+    - [steal] (any thread): read [top], read the element, CAS [top]
+      forward; a failed CAS means another stealer (or the owner's pop)
+      won the race.
+
+    The circular array grows geometrically when full; old arrays are
+    left for the GC (safe in OCaml — no manual reclamation problem).
+
+    The runtime simulator is single-threaded, but the structure is
+    implemented with real [Atomic] operations and is safe for genuine
+    multi-domain use; the test suite stresses it from multiple domains. *)
+
+type 'a circular_array = {
+  log_size : int;
+  segment : 'a option Atomic.t array;
+}
+
+let ca_create log_size =
+  { log_size; segment = Array.init (1 lsl log_size) (fun _ -> Atomic.make None) }
+
+let ca_size a = 1 lsl a.log_size
+let ca_get a i = Atomic.get a.segment.(i land (ca_size a - 1))
+let ca_put a i v = Atomic.set a.segment.(i land (ca_size a - 1)) v
+
+let ca_grow a ~bottom ~top =
+  let b = ca_create (a.log_size + 1) in
+  for i = top to bottom - 1 do
+    ca_put b i (ca_get a i)
+  done;
+  b
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  active : 'a circular_array Atomic.t;
+}
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    active = Atomic.make (ca_create 4);
+  }
+
+(* Owner-side size estimate; exact when no concurrent operations. *)
+let size q =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  max 0 (b - t)
+
+let is_empty q = size q = 0
+
+(* Owner only. *)
+let push q v =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  let a = Atomic.get q.active in
+  let a =
+    if b - t >= ca_size a - 1 then begin
+      let a' = ca_grow a ~bottom:b ~top:t in
+      Atomic.set q.active a';
+      a'
+    end
+    else a
+  in
+  ca_put a b (Some v);
+  Atomic.set q.bottom (b + 1)
+
+(* Owner only: LIFO pop from the bottom. *)
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let a = Atomic.get q.active in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  let sz = b - t in
+  if sz < 0 then begin
+    (* Deque was empty: restore bottom. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else
+    let v = ca_get a b in
+    if sz > 0 then begin
+      ca_put a b None;
+      v
+    end
+    else begin
+      (* Last element: race against stealers for it. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        ca_put a b None;
+        v
+      end
+      else None
+    end
+
+(* Any thread: FIFO steal from the top. *)
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if b - t <= 0 then None
+  else
+    let a = Atomic.get q.active in
+    let v = ca_get a t in
+    if Atomic.compare_and_set q.top t (t + 1) then v else None
+
+(* Owner only: drain everything (used when shutting a capability down). *)
+let drain q =
+  let rec go acc = match pop q with None -> List.rev acc | Some v -> go (v :: acc) in
+  go []

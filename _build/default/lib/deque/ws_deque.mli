@@ -1,0 +1,30 @@
+(** Chase–Lev lock-free work-stealing deque (SPAA 2005) — the data
+    structure the paper adopts for GpH spark pools (Sec. IV-A.2,
+    citation [31]).
+
+    The owner pushes and pops at the bottom (LIFO); thieves steal from
+    the top (FIFO) with a single CAS.  Implemented over a growable
+    circular array of [Atomic] cells; safe for genuine multi-domain
+    use (and stress-tested from multiple domains). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Owner-side size estimate; exact when quiescent. *)
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Owner only. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only: LIFO pop from the bottom. *)
+val pop : 'a t -> 'a option
+
+(** Any thread: FIFO steal from the top.  [None] when empty or when a
+    concurrent operation won the race. *)
+val steal : 'a t -> 'a option
+
+(** Owner only: remove everything (pop order). *)
+val drain : 'a t -> 'a list

@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Array Buffer Float Format List Printf Repro_core Repro_parrts Repro_util String

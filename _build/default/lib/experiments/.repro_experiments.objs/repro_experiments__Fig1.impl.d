@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Exp List Paper Printf Repro_core Repro_machine Repro_parrts Repro_util Repro_workloads

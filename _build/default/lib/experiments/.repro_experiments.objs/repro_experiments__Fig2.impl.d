@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Buffer Char Exp Fig1 List Printf Repro_core Repro_machine Repro_parrts Repro_trace Repro_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Exp Format List Printf Repro_core Repro_machine Repro_parrts Repro_workloads

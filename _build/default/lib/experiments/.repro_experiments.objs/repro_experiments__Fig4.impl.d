@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Buffer Char Exp List Printf Repro_core Repro_machine Repro_trace Repro_workloads

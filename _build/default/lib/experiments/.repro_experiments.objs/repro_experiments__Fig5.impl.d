@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Exp Format List Printf Repro_core Repro_machine Repro_workloads

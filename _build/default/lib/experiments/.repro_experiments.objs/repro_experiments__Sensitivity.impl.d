@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Float List Printf Repro_core Repro_heap Repro_parrts Repro_workloads String

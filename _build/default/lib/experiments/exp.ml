@@ -1,0 +1,129 @@
+(** Experiment harness: run a workload under a named runtime version
+    and collect the measurements the paper reports. *)
+
+module Rts = Repro_parrts.Rts
+module Config = Repro_parrts.Config
+module Report = Repro_parrts.Report
+module Versions = Repro_core.Versions
+module Tablefmt = Repro_util.Tablefmt
+
+type row = {
+  label : string;
+  config : Config.t;
+  elapsed_s : float;
+  report : Report.t;
+}
+
+(** Run [work] under [version]; the workload function receives no
+    arguments and runs inside the simulated main thread. *)
+let run (version : Versions.version) (work : unit -> 'a) : 'a * row =
+  let value, report = Rts.run version.config work in
+  ( value,
+    {
+      label = version.label;
+      config = version.config;
+      elapsed_s = Report.elapsed_s report;
+      report;
+    } )
+
+let run_row version work = snd (run version work)
+
+(** A speedup series: elapsed time per core count, normalised to the
+    same version on one core (the paper's "relative speedup"). *)
+type series = {
+  s_label : string;
+  core_counts : int list;
+  times_s : float list;
+  speedups : float list;
+}
+
+let series ~label ~core_counts ~(version_at : int -> Versions.version)
+    ~(work : ncaps:int -> unit -> unit) : series =
+  let times =
+    List.map
+      (fun ncaps ->
+        let v = version_at ncaps in
+        let _, report = Rts.run v.Versions.config (work ~ncaps) in
+        Report.elapsed_s report)
+      core_counts
+  in
+  let t1 =
+    match (core_counts, times) with
+    | 1 :: _, t1 :: _ -> t1
+    | _ ->
+        (* measure the 1-core baseline separately *)
+        let v = version_at 1 in
+        let _, report = Rts.run v.Versions.config (work ~ncaps:1) in
+        Report.elapsed_s report
+  in
+  {
+    s_label = label;
+    core_counts;
+    times_s = times;
+    speedups = List.map (fun t -> t1 /. t) times;
+  }
+
+let pp_speedup_table ppf (series_list : series list) =
+  match series_list with
+  | [] -> ()
+  | first :: _ ->
+      let t =
+        Tablefmt.create
+          ~aligns:(Tablefmt.Left :: List.map (fun _ -> Tablefmt.Right) first.core_counts)
+          ("version" :: List.map string_of_int first.core_counts)
+      in
+      List.iter
+        (fun s ->
+          Tablefmt.add_row t
+            (s.s_label :: List.map (fun x -> Printf.sprintf "%.2f" x) s.speedups))
+        series_list;
+      Format.pp_print_string ppf (Tablefmt.to_string t)
+
+(** An ASCII "plot" of speedup curves (x = cores, y = speedup), in the
+    spirit of the paper's figures. *)
+let render_speedup_plot ?(height = 16) (series_list : series list) =
+  match series_list with
+  | [] -> ""
+  | first :: _ ->
+      let max_speedup =
+        List.fold_left
+          (fun m s -> List.fold_left Float.max m s.speedups)
+          1.0 series_list
+      in
+      let cols = List.length first.core_counts in
+      let buf = Buffer.create 1024 in
+      let marks = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |] in
+      let grid = Array.make_matrix height (cols * 5) ' ' in
+      List.iteri
+        (fun si s ->
+          List.iteri
+            (fun ci sp ->
+              let y =
+                height - 1
+                - int_of_float (Float.round (sp /. max_speedup *. float_of_int (height - 1)))
+              in
+              let x = ci * 5 in
+              if y >= 0 && y < height then
+                grid.(y).(x + (si mod 5)) <- marks.(si mod Array.length marks))
+            s.speedups)
+        series_list;
+      Buffer.add_string buf
+        (Printf.sprintf "speedup (max %.1f)\n" max_speedup);
+      Array.iter
+        (fun line ->
+          Buffer.add_string buf "  |";
+          Buffer.add_string buf (String.init (Array.length line) (Array.get line));
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf "  +";
+      Buffer.add_string buf (String.make (cols * 5) '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf "   ";
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%-5d" c)) first.core_counts;
+      Buffer.add_char buf '\n';
+      List.iteri
+        (fun si s ->
+          Buffer.add_string buf
+            (Printf.sprintf "   %c = %s\n" marks.(si mod Array.length marks) s.s_label))
+        series_list;
+      Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Fig. 1: parallel runtimes of sumEuler [1..15000] on the Intel
+    8-core machine, five runtime versions. *)
+
+module Versions = Repro_core.Versions
+module Machine = Repro_machine.Machine
+module Tablefmt = Repro_util.Tablefmt
+
+let n_default = 15000
+
+type result = { rows : Exp.row list; n : int }
+
+let run ?(n = n_default) ?(machine = Machine.intel8) ?(ncaps = 8) () =
+  let versions = Versions.fig1_versions ~machine ~ncaps () in
+  let rows =
+    List.map
+      (fun (v : Versions.version) ->
+        let is_eden = Repro_parrts.Config.is_distributed v.config in
+        Exp.run_row v (fun () ->
+            if is_eden then ignore (Repro_workloads.Sumeuler.eden ~n ())
+            else ignore (Repro_workloads.Sumeuler.gph ~n ())))
+      versions
+  in
+  { rows; n }
+
+let to_table (r : result) =
+  let t =
+    Tablefmt.create
+      ~aligns:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right ]
+      [ "Program version and runtime system"; "Runtime"; "Paper" ]
+  in
+  List.iter2
+    (fun (row : Exp.row) (_, paper_s) ->
+      Tablefmt.add_row t
+        [
+          row.label;
+          Printf.sprintf "%.2f sec." row.elapsed_s;
+          Printf.sprintf "%.2f sec." paper_s;
+        ])
+    r.rows Paper.fig1_runtimes_s;
+  t
+
+(* Shape check used by the integration tests: the paper's row ordering
+   must hold (each optimisation improves on the previous; Eden is the
+   fastest). *)
+let ordering_holds (r : result) =
+  let times = List.map (fun (row : Exp.row) -> row.elapsed_s) r.rows in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  decreasing times
+
+let print (r : result) =
+  Printf.printf "Fig. 1: parallel runtimes of the sumEuler program for [1..%d]\n" r.n;
+  Tablefmt.print (to_table r)

@@ -1,0 +1,42 @@
+(** Fig. 2: runtime traces of sumEuler [1..15000] — the five versions
+    of Fig. 1, rendered as EdenTV-style timelines. *)
+
+module Versions = Repro_core.Versions
+module Machine = Repro_machine.Machine
+module Trace = Repro_trace.Trace
+module Render = Repro_trace.Render
+
+type result = { traces : (string * Trace.t) list; n : int }
+
+let run ?(n = Fig1.n_default) ?(machine = Machine.intel8) ?(ncaps = 8) () =
+  let versions = Versions.fig1_versions ~machine ~ncaps () in
+  let traces =
+    List.map
+      (fun (v : Versions.version) ->
+        let is_eden = Repro_parrts.Config.is_distributed v.config in
+        let row =
+          Exp.run_row v (fun () ->
+              if is_eden then ignore (Repro_workloads.Sumeuler.eden ~n ())
+              else ignore (Repro_workloads.Sumeuler.gph ~n ()))
+        in
+        (v.label, row.report.trace))
+      versions
+  in
+  { traces; n }
+
+let render ?(width = 100) (r : result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "Fig. 2: runtime traces of sumEuler [1..%d]\n\n" r.n);
+  List.iteri
+    (fun i (label, trace) ->
+      Buffer.add_string buf
+        (Render.timeline ~width
+           ~title:(Printf.sprintf "%c) %s" (Char.chr (Char.code 'a' + i)) label)
+           trace);
+      Buffer.add_char buf '\n')
+    r.traces;
+  Buffer.contents buf
+
+let csv (r : result) =
+  List.map (fun (label, trace) -> (label, Render.to_csv trace)) r.traces

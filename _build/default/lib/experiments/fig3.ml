@@ -1,0 +1,101 @@
+(** Fig. 3: relative speedups for the sumEuler and matrix programs on
+    the AMD 16-core machine — four GpH runtime versions plus Eden, over
+    1..16 cores. *)
+
+module Versions = Repro_core.Versions
+module Machine = Repro_machine.Machine
+module Config = Repro_parrts.Config
+
+let default_cores = [ 1; 2; 4; 6; 8; 10; 12; 14; 16 ]
+
+type result = {
+  sumeuler : Exp.series list;
+  matmul : Exp.series list;
+  cores : int list;
+  n_euler : int;
+  n_mat : int;
+}
+
+let gph_versions =
+  [
+    ("GpH plain", fun ~machine ~ncaps -> Versions.gph_plain ~machine ~ncaps ());
+    ( "GpH big alloc area",
+      fun ~machine ~ncaps -> Versions.gph_bigalloc ~machine ~ncaps () );
+    ( "GpH + improved sync",
+      fun ~machine ~ncaps -> Versions.gph_sync ~machine ~ncaps () );
+    ( "GpH + work stealing",
+      fun ~machine ~ncaps -> Versions.gph_steal ~machine ~ncaps () );
+  ]
+
+(* Eden's Cannon grid for [c] cores: q x q workers plus the parent as
+   virtual PEs multiplexed onto the c physical cores.  The grid rounds
+   up — running more virtual PEs than cores pays off (the paper's
+   Fig. 4 d/e finding). *)
+let cannon_grid c =
+  let q = max 1 (int_of_float (ceil (sqrt (float_of_int c)))) in
+  (q, (q * q) + 1)
+
+let run ?(cores = default_cores) ?(machine = Machine.amd16)
+    ?(n_euler = 15000) ?(n_mat = 2000) () =
+  let machine_at c = Machine.with_cores machine c in
+  let sumeuler =
+    List.map
+      (fun (label, make) ->
+        Exp.series ~label ~core_counts:cores
+          ~version_at:(fun c -> make ~machine:(machine_at c) ~ncaps:c)
+          ~work:(fun ~ncaps:_ () ->
+            ignore (Repro_workloads.Sumeuler.gph ~n:n_euler ())))
+      gph_versions
+    @ [
+        Exp.series ~label:"Eden (PVM)" ~core_counts:cores
+          ~version_at:(fun c -> Versions.eden ~machine:(machine_at c) ~npes:c ())
+          ~work:(fun ~ncaps:_ () ->
+            ignore (Repro_workloads.Sumeuler.eden ~n:n_euler ()));
+      ]
+  in
+  let matmul =
+    List.map
+      (fun (label, make) ->
+        Exp.series ~label ~core_counts:cores
+          ~version_at:(fun c -> make ~machine:(machine_at c) ~ncaps:c)
+          ~work:(fun ~ncaps:_ () -> ignore (Repro_workloads.Matmul.gph ~n:n_mat ())))
+      gph_versions
+    @ [
+        Exp.series ~label:"Eden Cannon (PVM)" ~core_counts:cores
+          ~version_at:(fun c ->
+            let _, npes = cannon_grid c in
+            Versions.eden ~machine:(machine_at c) ~npes ())
+          ~work:(fun ~ncaps () ->
+            (* ncaps here is the core count used for version_at *)
+            let q, _ = cannon_grid ncaps in
+            let n_mat = n_mat - (n_mat mod q) in
+            ignore (Repro_workloads.Matmul.eden_cannon ~n:n_mat ~q ()));
+      ]
+  in
+  { sumeuler; matmul; cores; n_euler; n_mat }
+
+(* Shape checks for the integration tests. *)
+let final_speedup (s : Exp.series) =
+  match List.rev s.speedups with [] -> 0.0 | x :: _ -> x
+
+let shapes_hold (r : result) =
+  let by_label name l =
+    List.find (fun (s : Exp.series) -> s.s_label = name) l
+  in
+  let plain = by_label "GpH plain" r.sumeuler
+  and steal = by_label "GpH + work stealing" r.sumeuler
+  and eden = by_label "Eden (PVM)" r.sumeuler in
+  (* stealing dominates plain at scale; all versions actually scale;
+     Eden is comparable to the best GpH (within 25%) *)
+  final_speedup steal > final_speedup plain
+  && final_speedup plain > 4.0
+  && final_speedup eden > 0.75 *. final_speedup steal
+
+let print (r : result) =
+  Printf.printf "Fig. 3a: relative speedup, sumEuler [1..%d] (%s)\n" r.n_euler
+    "AMD 16-core";
+  Format.printf "%a\n" Exp.pp_speedup_table r.sumeuler;
+  print_string (Exp.render_speedup_plot r.sumeuler);
+  Printf.printf "\nFig. 3b: relative speedup, matmul %dx%d\n" r.n_mat r.n_mat;
+  Format.printf "%a\n" Exp.pp_speedup_table r.matmul;
+  print_string (Exp.render_speedup_plot r.matmul)

@@ -1,0 +1,74 @@
+(** Fig. 4: traces of matrix multiplication (1000x1000) on the Intel
+    8-core machine: three GpH versions and Eden/Cannon with more
+    virtual PEs than physical cores (3x3 blocks on 9 PEs, 4x4 blocks on
+    17 PEs). *)
+
+module Versions = Repro_core.Versions
+module Machine = Repro_machine.Machine
+module Trace = Repro_trace.Trace
+module Render = Repro_trace.Render
+
+type entry = { label : string; elapsed_s : float; trace : Trace.t }
+
+type result = { entries : entry list; n : int }
+
+let run ?(n = 1000) ?(machine = Machine.intel8) () =
+  let ncaps = machine.Machine.cores in
+  let gph (v : Versions.version) =
+    let row = Exp.run_row v (fun () -> ignore (Repro_workloads.Matmul.gph ~n ())) in
+    { label = v.label; elapsed_s = row.elapsed_s; trace = row.report.trace }
+  in
+  let eden ~q ~npes =
+    let v = Versions.eden ~machine ~npes () in
+    let n = n - (n mod q) in
+    let row =
+      Exp.run_row v (fun () ->
+          ignore (Repro_workloads.Matmul.eden_cannon ~n ~q ()))
+    in
+    {
+      label =
+        Printf.sprintf "Eden Cannon %dx%d blocks, %d virtual PEs (PVM)" q q npes;
+      elapsed_s = row.elapsed_s;
+      trace = row.report.trace;
+    }
+  in
+  {
+    entries =
+      [
+        gph (Versions.gph_plain ~machine ~ncaps ());
+        gph (Versions.gph_bigalloc ~machine ~ncaps ());
+        gph (Versions.gph_steal ~machine ~ncaps ());
+        eden ~q:3 ~npes:9;
+        eden ~q:4 ~npes:17;
+      ];
+    n;
+  }
+
+(* Shape checks: stealing is the best GpH; Eden profits from more
+   virtual PEs than cores (17 beats 9); the virtual-PE runs are
+   competitive with the best GpH. *)
+let shapes_hold (r : result) =
+  match r.entries with
+  | [ plain; bigalloc; steal; eden9; eden17 ] ->
+      steal.elapsed_s < plain.elapsed_s
+      && steal.elapsed_s < bigalloc.elapsed_s
+      && eden17.elapsed_s < eden9.elapsed_s
+      && eden17.elapsed_s < plain.elapsed_s
+  | _ -> false
+
+let render ?(width = 100) (r : result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "Fig. 4: traces of matrix multiplication, %dx%d elements\n\n"
+       r.n r.n);
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Render.timeline ~width
+           ~title:
+             (Printf.sprintf "%c) %s — %.3f s" (Char.chr (Char.code 'a' + i))
+                e.label e.elapsed_s)
+           e.trace);
+      Buffer.add_char buf '\n')
+    r.entries;
+  Buffer.contents buf

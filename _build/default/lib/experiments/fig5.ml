@@ -1,0 +1,56 @@
+(** Fig. 5: relative speedup of the all-pairs shortest-paths program
+    (400 nodes) on the AMD 16-core machine.
+
+    The paper's finding: the Eden ring version scales well; GpH
+    versions flatten out (or even slow down, worst with work stealing)
+    unless {e eager black-holing} is used. *)
+
+module Versions = Repro_core.Versions
+module Machine = Repro_machine.Machine
+
+let default_cores = [ 1; 2; 4; 6; 8; 10; 12; 14; 16 ]
+
+type result = { series : Exp.series list; cores : int list; n : int }
+
+let run ?(cores = default_cores) ?(machine = Machine.amd16) ?(n = 400) () =
+  let machine_at c = Machine.with_cores machine c in
+  let gph_series label version_at =
+    Exp.series ~label ~core_counts:cores ~version_at
+      ~work:(fun ~ncaps:_ () -> ignore (Repro_workloads.Apsp.gph ~n ()))
+  in
+  let series =
+    [
+      gph_series "GpH, lazy black-holing" (fun c ->
+          Versions.gph_sync ~machine:(machine_at c) ~ncaps:c ());
+      gph_series "GpH + work stealing, lazy black-holing" (fun c ->
+          Versions.gph_steal ~machine:(machine_at c) ~ncaps:c ());
+      gph_series "GpH, eager black-holing" (fun c ->
+          Versions.with_eager (Versions.gph_sync ~machine:(machine_at c) ~ncaps:c ()));
+      gph_series "GpH + work stealing, eager black-holing" (fun c ->
+          Versions.with_eager (Versions.gph_steal ~machine:(machine_at c) ~ncaps:c ()));
+      Exp.series ~label:"Eden ring (PVM)" ~core_counts:cores
+        ~version_at:(fun c -> Versions.eden ~machine:(machine_at c) ~npes:c ())
+        ~work:(fun ~ncaps:_ () -> ignore (Repro_workloads.Apsp.eden_ring ~n ()));
+    ]
+  in
+  { series; cores; n }
+
+let by_label (r : result) name =
+  List.find (fun (s : Exp.series) -> s.s_label = name) r.series
+
+(* Shape checks: Eden scales well; eager-BH stealing beats lazy-BH
+   stealing clearly; lazy versions flatten (Eden ends far above). *)
+let shapes_hold (r : result) =
+  let final (s : Exp.series) =
+    match List.rev s.speedups with [] -> 0.0 | x :: _ -> x
+  in
+  let eden = final (by_label r "Eden ring (PVM)") in
+  let lazy_steal = final (by_label r "GpH + work stealing, lazy black-holing") in
+  let eager_steal = final (by_label r "GpH + work stealing, eager black-holing") in
+  eden > 6.0 && eager_steal > 1.5 *. lazy_steal && eden > lazy_steal
+
+let print (r : result) =
+  Printf.printf "Fig. 5: relative speedup, shortest paths (%d nodes), AMD 16-core\n"
+    r.n;
+  Format.printf "%a\n" Exp.pp_speedup_table r.series;
+  print_string (Exp.render_speedup_plot r.series)

@@ -1,0 +1,55 @@
+(** The numbers and qualitative shapes the paper reports, for
+    comparison against our measurements (EXPERIMENTS.md is generated
+    from these plus fresh runs). *)
+
+(* Fig. 1: parallel runtimes of sumEuler [1..15000] on the Intel
+   8-core, seconds. *)
+let fig1_runtimes_s =
+  [
+    ("GpH in plain GHC-6.9", 2.75);
+    ("GpH in plain GHC-6.9, big allocation area", 2.58);
+    ("GpH, above + improved GC synchronisation", 2.44);
+    ("GpH, above + work stealing for sparks", 2.30);
+    ("Eden-6.8.3, 8 PEs running under PVM", 2.24);
+  ]
+
+(* Fig. 2 (traces): qualitative expectations for the five sumEuler
+   configurations. *)
+let fig2_shapes =
+  [
+    "a) default: frequent global GC stops; visible yellow sync bands";
+    "b) big allocation area: far fewer GC stops, better runtime";
+    "c) improved synchronisation: slight further improvement";
+    "d) work stealing: idle periods eliminated, best GpH runtime";
+    "e) Eden/PVM: dense independent activity, best runtime overall";
+    "all) a sequential check phase visible at the end of each trace";
+  ]
+
+(* Fig. 3: relative speedups on the AMD 16-core.  The paper plots
+   curves rather than tabulating values; the shape criteria: *)
+let fig3_shapes =
+  [
+    "sumEuler: all versions scale; work stealing best GpH, Eden \
+     comparable; ordering plain < big-alloc < +sync < +stealing";
+    "matmul 2000x2000: blockwise GpH and Eden/Cannon both give fair \
+     speedup; Eden competitive with best GpH";
+  ]
+
+(* Fig. 4 (matmul traces, 1000x1000, Intel 8-core): qualitative. *)
+let fig4_shapes =
+  [
+    "a/b) unmodified GHC cannot use all 8 cores evenly; frequent GC sync";
+    "c) work stealing: best GpH runtime, good core usage";
+    "d) Eden 3x3 blocks on 9 virtual PEs: good runtime despite > cores";
+    "e) Eden 4x4 blocks on 17 virtual PEs: even better than d)";
+  ]
+
+(* Fig. 5 (shortest paths, 400 nodes, AMD 16-core): qualitative. *)
+let fig5_shapes =
+  [
+    "Eden ring version shows good speedup";
+    "GpH lazy black-holing versions flatten out very soon; the \
+     work-stealing lazy version even slows down";
+    "eager black-holing rescues the GpH versions (most apparent with \
+     work stealing)";
+  ]

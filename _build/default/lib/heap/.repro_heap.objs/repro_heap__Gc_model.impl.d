@@ -1,0 +1,1 @@
+lib/heap/gc_model.ml: Format

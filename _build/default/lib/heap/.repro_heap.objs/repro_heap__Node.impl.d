@@ -1,0 +1,1 @@
+lib/heap/node.ml: List

@@ -1,0 +1,1 @@
+lib/mp/transport.ml: Format List Printf

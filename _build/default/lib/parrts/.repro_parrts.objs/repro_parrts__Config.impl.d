@@ -1,0 +1,1 @@
+lib/parrts/config.ml: Format Repro_heap Repro_machine Repro_mp Repro_util

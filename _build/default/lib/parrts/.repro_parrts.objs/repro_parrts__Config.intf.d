@@ -1,0 +1,1 @@
+lib/parrts/config.mli: Format Repro_heap Repro_machine Repro_mp Repro_util

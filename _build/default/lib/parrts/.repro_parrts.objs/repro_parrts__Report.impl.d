@@ -1,0 +1,1 @@
+lib/parrts/report.ml: Format Repro_trace

@@ -1,0 +1,1 @@
+lib/parrts/report.mli: Format Repro_trace

@@ -1,0 +1,1 @@
+lib/parrts/rts.ml: Array Config Effect Float Fun List Printf Queue Report Repro_deque Repro_heap Repro_machine Repro_mp Repro_sim Repro_trace Repro_util

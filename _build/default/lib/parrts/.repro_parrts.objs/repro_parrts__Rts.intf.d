@@ -1,0 +1,1 @@
+lib/parrts/rts.mli: Config Report Repro_heap Repro_util

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Printf Repro_util

@@ -1,0 +1,75 @@
+(** Discrete-event simulation engine.
+
+    A single global virtual clock (integer nanoseconds) and a priority
+    queue of pending events.  Events scheduled for the same instant fire
+    in scheduling order (the priority queue is stable), which makes every
+    simulation deterministic.
+
+    The runtime-system simulator ({!Repro_parrts}) drives everything
+    through this engine: capability scheduling slices, GC barriers,
+    message deliveries and timers are all events. *)
+
+type t = {
+  mutable now : int;  (** current virtual time, ns *)
+  events : (unit -> unit) Repro_util.Prio_queue.t;
+  mutable running : bool;
+  mutable dispatched : int;
+  mutable horizon : int;  (** safety stop, ns *)
+}
+
+exception Horizon_exceeded of int
+
+let default_horizon = 3_600_000_000_000 (* one virtual hour *)
+
+let create ?(horizon = default_horizon) () =
+  {
+    now = 0;
+    events = Repro_util.Prio_queue.create ();
+    running = false;
+    dispatched = 0;
+    horizon;
+  }
+
+let now t = t.now
+let pending t = Repro_util.Prio_queue.length t.events
+let dispatched t = t.dispatched
+
+let at t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %d is in the past (now=%d)" time t.now);
+  Repro_util.Prio_queue.add t.events time f
+
+let after t delay f =
+  if delay < 0 then invalid_arg "Engine.after: negative delay";
+  at t (t.now + delay) f
+
+let stop t = t.running <- false
+
+(* Run until the event queue drains (or [until] / the horizon is hit).
+   Returns the final virtual time. *)
+let run ?until t =
+  t.running <- true;
+  let limit = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    if not t.running then ()
+    else
+      match Repro_util.Prio_queue.pop_opt t.events with
+      | None -> ()
+      | Some (time, f) ->
+          if time > limit then begin
+            (* Put it back for a later [run] call and stop here. *)
+            Repro_util.Prio_queue.add t.events time f;
+            t.now <- limit
+          end
+          else begin
+            if time > t.horizon then raise (Horizon_exceeded time);
+            t.now <- max t.now time;
+            t.dispatched <- t.dispatched + 1;
+            f ();
+            loop ()
+          end
+  in
+  loop ();
+  t.running <- false;
+  t.now

@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine: a single virtual clock (integer
+    nanoseconds) and a stable priority queue of pending events.  Events
+    scheduled for the same instant fire in scheduling order, so every
+    simulation is deterministic. *)
+
+type t
+
+exception Horizon_exceeded of int
+
+(** [create ?horizon ()]: a fresh engine at time 0.  [horizon] is a
+    runaway-simulation safety stop (default: one virtual hour). *)
+val create : ?horizon:int -> unit -> t
+
+(** Current virtual time (ns). *)
+val now : t -> int
+
+(** Number of events still queued. *)
+val pending : t -> int
+
+(** Total events dispatched so far. *)
+val dispatched : t -> int
+
+(** [at t time f]: schedule [f] at the absolute virtual [time].
+    @raise Invalid_argument if [time] is in the past. *)
+val at : t -> int -> (unit -> unit) -> unit
+
+(** [after t delay f]: schedule [f] [delay] ns from now.
+    @raise Invalid_argument on negative delays. *)
+val after : t -> int -> (unit -> unit) -> unit
+
+(** Stop the current {!run} after the event in progress. *)
+val stop : t -> unit
+
+(** Run until the queue drains (or [until] / the horizon is reached);
+    returns the final virtual time.  A run stopped by [until] can be
+    resumed by calling [run] again.
+    @raise Horizon_exceeded if an event lies beyond the horizon. *)
+val run : ?until:int -> t -> int

@@ -1,0 +1,1 @@
+lib/trace/eventlog.ml: Array Buffer Format Hashtbl List Option Repro_util

@@ -1,0 +1,1 @@
+lib/trace/eventlog.mli: Format Repro_util

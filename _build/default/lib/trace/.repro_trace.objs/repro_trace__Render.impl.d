@@ -1,0 +1,1 @@
+lib/trace/render.ml: Array Buffer Bytes Float Hashtbl List Printf Trace

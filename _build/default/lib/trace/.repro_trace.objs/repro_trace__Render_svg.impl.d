@@ -1,0 +1,1 @@
+lib/trace/render_svg.ml: Array Buffer List Printf String Trace

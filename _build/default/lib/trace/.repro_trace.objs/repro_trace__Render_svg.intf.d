@@ -1,0 +1,1 @@
+lib/trace/render_svg.mli: Trace

@@ -1,0 +1,176 @@
+(** Structured runtime event log (GHC-eventlog style).
+
+    The paper stresses the importance of adequate parallel-profiling
+    tools and uses a custom instrumentation of the threaded RTS fed
+    into EdenTV (Sec. I, footnote 1).  Beyond the state timelines of
+    {!Trace}, this log records discrete runtime events — thread
+    lifecycle, spark lifecycle, GC phases, messages — with timestamps,
+    and derives the summary statistics used when analysing runs:
+    spark-activation latency, thread lifetimes, GC gap distribution,
+    per-PE message counts. *)
+
+type event =
+  | Thread_created of { tid : int; cap : int }
+  | Thread_finished of { tid : int; cap : int }
+  | Thread_blocked of { tid : int; cap : int }
+  | Thread_woken of { tid : int; cap : int }
+  | Thread_migrated of { tid : int; from_cap : int; to_cap : int }
+  | Spark_created of { cap : int }
+  | Spark_converted of { cap : int }
+  | Spark_stolen of { thief : int }
+  | Spark_fizzled of { cap : int }
+  | Spark_overflowed of { cap : int }
+  | Gc_requested of { cap : int }
+  | Gc_started of { minors : int; major : bool }
+  | Gc_finished
+  | Message_sent of { src : int; dst : int; bytes : int }
+  | Message_delivered of { dst : int; bytes : int }
+  | Blackhole_entered of { cap : int }
+  | Custom of string
+
+let event_name = function
+  | Thread_created _ -> "thread-created"
+  | Thread_finished _ -> "thread-finished"
+  | Thread_blocked _ -> "thread-blocked"
+  | Thread_woken _ -> "thread-woken"
+  | Thread_migrated _ -> "thread-migrated"
+  | Spark_created _ -> "spark-created"
+  | Spark_converted _ -> "spark-converted"
+  | Spark_stolen _ -> "spark-stolen"
+  | Spark_fizzled _ -> "spark-fizzled"
+  | Spark_overflowed _ -> "spark-overflowed"
+  | Gc_requested _ -> "gc-requested"
+  | Gc_started _ -> "gc-started"
+  | Gc_finished -> "gc-finished"
+  | Message_sent _ -> "message-sent"
+  | Message_delivered _ -> "message-delivered"
+  | Blackhole_entered _ -> "blackhole-entered"
+  | Custom _ -> "custom"
+
+type t = {
+  mutable events : (int * event) list;  (** reversed *)
+  mutable enabled : bool;
+  mutable count : int;
+}
+
+let create () = { events = []; enabled = true; count = 0 }
+let disable t = t.enabled <- false
+
+let emit t ~time ev =
+  if t.enabled then begin
+    t.events <- (time, ev) :: t.events;
+    t.count <- t.count + 1
+  end
+
+let length t = t.count
+let events t = List.rev t.events
+
+let pp_event ppf = function
+  | Thread_created { tid; cap } -> Format.fprintf ppf "thread %d created on cap %d" tid cap
+  | Thread_finished { tid; cap } -> Format.fprintf ppf "thread %d finished on cap %d" tid cap
+  | Thread_blocked { tid; cap } -> Format.fprintf ppf "thread %d blocked on cap %d" tid cap
+  | Thread_woken { tid; cap } -> Format.fprintf ppf "thread %d woken (cap %d)" tid cap
+  | Thread_migrated { tid; from_cap; to_cap } ->
+      Format.fprintf ppf "thread %d migrated %d -> %d" tid from_cap to_cap
+  | Spark_created { cap } -> Format.fprintf ppf "spark created on cap %d" cap
+  | Spark_converted { cap } -> Format.fprintf ppf "spark converted on cap %d" cap
+  | Spark_stolen { thief } -> Format.fprintf ppf "spark stolen by cap %d" thief
+  | Spark_fizzled { cap } -> Format.fprintf ppf "spark fizzled on cap %d" cap
+  | Spark_overflowed { cap } -> Format.fprintf ppf "spark overflowed on cap %d" cap
+  | Gc_requested { cap } -> Format.fprintf ppf "gc requested by cap %d" cap
+  | Gc_started { minors; major } ->
+      Format.fprintf ppf "gc %d started (%s)" minors (if major then "major" else "minor")
+  | Gc_finished -> Format.fprintf ppf "gc finished"
+  | Message_sent { src; dst; bytes } ->
+      Format.fprintf ppf "message %d -> %d (%d bytes)" src dst bytes
+  | Message_delivered { dst; bytes } ->
+      Format.fprintf ppf "message delivered at %d (%d bytes)" dst bytes
+  | Blackhole_entered { cap } -> Format.fprintf ppf "black hole entered on cap %d" cap
+  | Custom s -> Format.pp_print_string ppf s
+
+(** Text dump, one event per line. *)
+let dump t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (time, ev) ->
+      Buffer.add_string buf
+        (Format.asprintf "%12d ns  %a\n" time pp_event ev))
+    (events t);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Derived statistics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  counts : (string * int) list;  (** events per kind *)
+  gc_gaps_ns : Repro_util.Stats.t;  (** mutator time between GCs *)
+  gc_pauses_ns : Repro_util.Stats.t;
+  thread_lifetimes_ns : Repro_util.Stats.t;
+  messages_per_pe : (int * int) array option;  (** (sent, received) *)
+}
+
+let summarise ?ncaps t =
+  let counts = Hashtbl.create 16 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  let gc_gaps = Repro_util.Stats.create () in
+  let gc_pauses = Repro_util.Stats.create () in
+  let lifetimes = Repro_util.Stats.create () in
+  let born : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_gc_end = ref None and gc_start = ref None in
+  let per_pe =
+    match ncaps with Some n -> Some (Array.make n (0, 0)) | None -> None
+  in
+  List.iter
+    (fun (time, ev) ->
+      bump (event_name ev);
+      match ev with
+      | Thread_created { tid; _ } -> Hashtbl.replace born tid time
+      | Thread_finished { tid; _ } -> (
+          match Hashtbl.find_opt born tid with
+          | Some t0 -> Repro_util.Stats.add lifetimes (float_of_int (time - t0))
+          | None -> ())
+      | Gc_started _ ->
+          gc_start := Some time;
+          (match !last_gc_end with
+          | Some t0 -> Repro_util.Stats.add gc_gaps (float_of_int (time - t0))
+          | None -> ())
+      | Gc_finished ->
+          last_gc_end := Some time;
+          (match !gc_start with
+          | Some t0 -> Repro_util.Stats.add gc_pauses (float_of_int (time - t0))
+          | None -> ())
+      | Message_sent { src; dst; _ } -> (
+          (* [src] can be -1 for protocol replies sent from scheduler
+             context (no thread attribution) *)
+          match per_pe with
+          | Some arr when src >= 0 && src < Array.length arr && dst >= 0
+                          && dst < Array.length arr ->
+              let s, r = arr.(src) in
+              arr.(src) <- (s + 1, r)
+          | _ -> ())
+      | Message_delivered { dst; _ } -> (
+          match per_pe with
+          | Some arr when dst >= 0 && dst < Array.length arr ->
+              let s, r = arr.(dst) in
+              arr.(dst) <- (s, r + 1)
+          | _ -> ())
+      | _ -> ())
+    (events t);
+  {
+    counts =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []);
+    gc_gaps_ns = gc_gaps;
+    gc_pauses_ns = gc_pauses;
+    thread_lifetimes_ns = lifetimes;
+    messages_per_pe = per_pe;
+  }
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf "@[<v>event counts:@,";
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %-20s %d@," k v) s.counts;
+  Format.fprintf ppf "gc gaps:    %a@," Repro_util.Stats.pp s.gc_gaps_ns;
+  Format.fprintf ppf "gc pauses:  %a@," Repro_util.Stats.pp s.gc_pauses_ns;
+  Format.fprintf ppf "thread lifetimes: %a@]" Repro_util.Stats.pp
+    s.thread_lifetimes_ns

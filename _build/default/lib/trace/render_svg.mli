@@ -1,0 +1,14 @@
+(** SVG renderer for traces: per-capability activity bars over time in
+    the EdenTV colour scheme (green running, yellow runnable, red
+    blocked, blue-grey idle, purple GC). *)
+
+(** Fill colour for a state. *)
+val colour : Trace.state -> string
+
+(** Render a self-contained SVG document.  [width] is the time-axis
+    width in pixels, [row_height] the bar height per capability. *)
+val render : ?width:int -> ?row_height:int -> ?title:string -> Trace.t -> string
+
+(** Render straight to a file. *)
+val to_file :
+  ?width:int -> ?row_height:int -> ?title:string -> Trace.t -> string -> unit

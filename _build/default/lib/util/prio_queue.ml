@@ -1,0 +1,99 @@
+(** Imperative binary-heap priority queue with stable tie-breaking.
+
+    Keys are integers (virtual-time nanoseconds in the simulator).  Ties
+    are broken by insertion order, which makes discrete-event simulation
+    runs fully deterministic: two events scheduled for the same instant
+    fire in the order they were scheduled. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; size = 0; next_seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let clear q =
+  q.arr <- [||];
+  q.size <- 0
+
+(* [lt a b] : does entry [a] order strictly before entry [b]? *)
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q e =
+  let cap = Array.length q.arr in
+  if q.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let narr = Array.make ncap e in
+    Array.blit q.arr 0 narr 0 q.size;
+    q.arr <- narr
+  end
+
+let add q key value =
+  let e = { key; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q e;
+  (* sift up *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt e q.arr.(parent) then begin
+      q.arr.(!i) <- q.arr.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  q.arr.(!i) <- e
+
+let min_key q = if q.size = 0 then None else Some q.arr.(0).key
+
+let peek q =
+  if q.size = 0 then None else Some (q.arr.(0).key, q.arr.(0).value)
+
+exception Empty
+
+let pop q =
+  if q.size = 0 then raise Empty;
+  let top = q.arr.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    let e = q.arr.(q.size) in
+    (* sift down from the root *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      let probe j = if j < q.size && lt q.arr.(j) e then smallest := j in
+      probe l;
+      (if l < q.size && r < q.size then
+         if lt q.arr.(r) q.arr.(l) && lt q.arr.(r) e then smallest := r
+         else ()
+       else probe r);
+      if !smallest = !i then continue := false
+      else begin
+        q.arr.(!i) <- q.arr.(!smallest);
+        i := !smallest
+      end
+    done;
+    q.arr.(!i) <- e
+  end;
+  (top.key, top.value)
+
+let pop_opt q = if q.size = 0 then None else Some (pop q)
+
+(* Drain into a list, in priority order.  Destroys the queue contents. *)
+let drain q =
+  let rec go acc = if is_empty q then List.rev acc else go (pop q :: acc) in
+  go []
+
+let of_list l =
+  let q = create () in
+  List.iter (fun (k, v) -> add q k v) l;
+  q

@@ -1,0 +1,47 @@
+(** Online summary statistics (Welford) and simple series helpers. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let min_value t = if t.n = 0 then nan else t.min
+let max_value t = if t.n = 0 then nan else t.max
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+(* Percentile by nearest-rank on a sorted copy. *)
+let percentile xs p =
+  match xs with
+  | [] -> nan
+  | _ ->
+      if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      arr.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g@]" t.n
+    (mean t) (stddev t) (min_value t) (max_value t)

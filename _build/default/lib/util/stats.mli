@@ -1,0 +1,26 @@
+(** Online summary statistics (Welford's algorithm) and simple series
+    helpers. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+(** [nan] when empty. *)
+val mean : t -> float
+
+val min_value : t -> float
+val max_value : t -> float
+
+(** Sample variance (0 with fewer than two observations). *)
+val variance : t -> float
+
+val stddev : t -> float
+val of_list : float list -> t
+
+(** Nearest-rank percentile of a list; [nan] on empty input.
+    @raise Invalid_argument if [p] is outside [\[0, 100\]]. *)
+val percentile : float list -> float -> float
+
+val pp : Format.formatter -> t -> unit

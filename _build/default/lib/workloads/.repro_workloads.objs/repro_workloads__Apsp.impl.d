@@ -1,0 +1,1 @@
+lib/workloads/apsp.ml: Array List Repro_core Repro_heap Repro_parrts Repro_util

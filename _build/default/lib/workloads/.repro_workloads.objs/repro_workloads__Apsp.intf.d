@@ -1,0 +1,1 @@
+lib/workloads/apsp.mli: Repro_util

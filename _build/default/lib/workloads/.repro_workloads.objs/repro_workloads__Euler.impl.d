@@ -1,0 +1,1 @@
+lib/workloads/euler.ml: Float List Repro_util

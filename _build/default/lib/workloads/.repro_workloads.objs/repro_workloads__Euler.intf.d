@@ -1,0 +1,1 @@
+lib/workloads/euler.mli: Repro_util

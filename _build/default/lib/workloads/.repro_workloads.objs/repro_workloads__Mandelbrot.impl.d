@@ -1,0 +1,1 @@
+lib/workloads/mandelbrot.ml: Array Fun List Repro_core Repro_parrts Repro_util

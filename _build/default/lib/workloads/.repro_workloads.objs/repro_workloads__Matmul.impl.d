@@ -1,0 +1,1 @@
+lib/workloads/matmul.ml: Array Float List Matrix Repro_core Repro_parrts Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/matrix.ml: Array Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/matrix.mli: Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/parfib.ml: Hashtbl List Printf Repro_core Repro_parrts Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/parfib.mli: Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/sumeuler.ml: Euler List Printf Repro_core Repro_parrts Repro_util

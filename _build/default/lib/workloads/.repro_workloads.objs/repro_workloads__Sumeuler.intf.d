@@ -1,0 +1,1 @@
+lib/workloads/sumeuler.mli: Repro_util

@@ -1,0 +1,226 @@
+(** All-pairs shortest paths: the paper's "genuinely parallel
+    algorithm" (Sec. V, Fig. 5), adapted from Plasmeijer & van Eekelen.
+
+    The algorithm is Floyd–Warshall organised by pivot rows: the row of
+    node [k] after [k] update steps is the {e pivot} for step [k], and
+    every other row is updated against pivots in order.
+
+    - {!eden_ring}: each ring process owns a contiguous block of rows;
+      pivot rows circulate around the ring and are applied to the local
+      block as they arrive.  "These row updates depend on each previous
+      row, but nevertheless can be pipelined."
+    - {!gph}: "sparks an evaluation for each row in advance and relies
+      on the runtime system efficiently synchronising concurrent
+      evaluations."  The pivot chain is a sequence of {e shared}
+      thunks forced by every row thread — exactly the structure that
+      triggers massive duplicate evaluation under lazy black-holing
+      and works under eager black-holing (Sec. IV-A.3).
+
+    Weights are floats; absent edges are [infinity].  Computation is
+    always real (it is cheap: n^3 min-plus operations). *)
+
+module Cost = Repro_util.Cost
+module Node = Repro_heap.Node
+module Gph = Repro_core.Gph
+module Eden = Repro_core.Eden
+module Skeletons = Repro_core.Skeletons
+module Api = Repro_parrts.Rts.Api
+
+(* Deterministic random digraph as an adjacency matrix of weights. *)
+let graph ?(seed = 7) ?(density = 0.2) n : float array array =
+  let rng = Repro_util.Rng.create seed in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then 0.0
+          else if Repro_util.Rng.float rng < density then
+            float_of_int (1 + Repro_util.Rng.int rng 100)
+          else infinity))
+
+(* Sequential Floyd–Warshall reference. *)
+let floyd_warshall (adj : float array array) =
+  let n = Array.length adj in
+  let d = Array.map Array.copy adj in
+  for k = 0 to n - 1 do
+    let dk = d.(k) in
+    for i = 0 to n - 1 do
+      let di = d.(i) in
+      let dik = di.(k) in
+      if dik < infinity then
+        for j = 0 to n - 1 do
+          let via = dik +. dk.(j) in
+          if via < di.(j) then di.(j) <- via
+        done
+    done
+  done;
+  d
+
+let checksum (d : float array array) =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun a x -> if x < infinity then a +. x else a) acc row)
+    0.0 d
+
+(* Update [row] against pivot row [pk] of node [k]: returns a new row
+   (the Haskell versions allocate fresh rows, which is what drives the
+   GC behaviour). *)
+let update_row (row : float array) ~k (pk : float array) =
+  let n = Array.length row in
+  let out = Array.make n 0.0 in
+  let rk = row.(k) in
+  if rk < infinity then
+    for j = 0 to n - 1 do
+      let via = rk +. pk.(j) in
+      out.(j) <- (if via < row.(j) then via else row.(j))
+    done
+  else Array.blit row 0 out 0 n;
+  out
+
+(* Cost of updating one row of length [n] against one pivot. *)
+let op_cycles = 6
+
+let row_update_cost n = Cost.make (n * op_cycles) ~alloc:((8 * n) + 24)
+
+let resident n = 2 * n * n * 8
+
+(* ------------------------------------------------------------------ *)
+(* GpH version: a shared pivot chain of thunks                         *)
+(* ------------------------------------------------------------------ *)
+
+(** The GpH program.  For each node [i] a thunk computes row [i]'s
+    final value by folding over all pivots, forcing each shared pivot
+    thunk on the way; the pivot thunks themselves fold over the earlier
+    pivots.  Every final row is sparked in advance. *)
+let gph ?(seed = 7) ~n () =
+  Api.set_resident (resident n);
+  let adj = graph ~seed n in
+  Api.charge (Cost.make (4 * n * n) ~alloc:(16 * n * n));
+  (* pivots.(k) = row k after being updated with pivots 0..k-1 *)
+  let pivots : float array Gph.t option array = Array.make n None in
+  let pivot_chain_cost k =
+    (* folding row k over pivots 0..k-1 *)
+    Cost.scale k (row_update_cost n)
+  in
+  let rec pivot k : float array Gph.t =
+    match pivots.(k) with
+    | Some node -> node
+    | None ->
+        let node =
+          Gph.thunk ~size:((8 * n) + 24) ~cost:(pivot_chain_cost k) (fun () ->
+              let row = ref (Array.copy adj.(k)) in
+              for k' = 0 to k - 1 do
+                let pk' = Gph.force (pivot k') in
+                row := update_row !row ~k:k' pk'
+              done;
+              !row)
+        in
+        pivots.(k) <- Some node;
+        node
+  in
+  (* create all pivot thunks up front (the lazy structure exists before
+     any evaluation starts) *)
+  for k = 0 to n - 1 do
+    ignore (pivot k)
+  done;
+  let final_row i =
+    Gph.thunk ~size:((8 * n) + 24) ~cost:(Cost.scale n (row_update_cost n))
+      (fun () ->
+        let row = ref (Array.copy adj.(i)) in
+        for k = 0 to n - 1 do
+          if k <> i then begin
+            let pk = Gph.force (pivot k) in
+            row := update_row !row ~k pk
+          end
+        done;
+        !row)
+  in
+  let rows = List.init n final_row in
+  Gph.par_list Gph.rwhnf rows;
+  let result = Array.of_list (List.map Gph.force rows) in
+  (* the i-th final row must equal the fully-updated pivot row for i
+     except that pivot i skipped its own (identity) step *)
+  checksum result
+
+(* ------------------------------------------------------------------ *)
+(* Eden version: ring of row-block processes                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Ring APSP.  [nprocs] defaults to [noPE]; process [p] owns the
+    contiguous row block [p*b .. p*b+b).  Pivot rows circulate; each
+    process applies every arriving pivot to its whole block and
+    forwards it, and emits its own rows when their turn comes. *)
+let eden_ring ?(seed = 7) ?nprocs ~n () =
+  let nprocs = match nprocs with Some p -> p | None -> Api.ncaps () in
+  let adj = graph ~seed n in
+  Api.charge (Cost.make (4 * n * n) ~alloc:(16 * n * n));
+  let bounds p =
+    (* contiguous blocks, remainder spread over the first blocks *)
+    let base = n / nprocs and extra = n mod nprocs in
+    let lo = (p * base) + min p extra in
+    let hi = lo + base + (if p < extra then 1 else 0) in
+    (lo, hi)
+  in
+  let owner k =
+    let rec go p = let lo, hi = bounds p in if k >= lo && k < hi then p else go (p + 1) in
+    go 0
+  in
+  let tr_row =
+    {
+      Eden.bytes = (fun (_ : int * float array) -> 32 + (8 * n));
+      nf_cycles = (fun _ -> n);
+    }
+  in
+  let per_pe = (n / max 1 nprocs) + 1 in
+  for pe = 0 to Api.ncaps () - 1 do
+    Api.set_resident_of ~cap:pe (2 * per_pe * n * 8)
+  done;
+  let blocks =
+    Skeletons.ring ~n:nprocs ~tr_ring:tr_row
+      ~tr_out:
+        {
+          Eden.bytes = (fun (rows : float array array) -> 24 + (Array.length rows * ((8 * n) + 24)));
+          nf_cycles = (fun rows -> Array.length rows * n);
+        }
+      ~distribute:(fun p ->
+        let lo, hi = bounds p in
+        Array.init (hi - lo) (fun i -> Array.copy adj.(lo + i)))
+      ~worker:(fun p block recv send_right close_right ->
+        let lo, hi = bounds p in
+        let nrows = hi - lo in
+        let apply_pivot k pk =
+          Api.charge (Cost.scale nrows (row_update_cost n));
+          for i = 0 to nrows - 1 do
+            if lo + i <> k then block.(i) <- update_row block.(i) ~k pk
+          done
+        in
+        for k = 0 to n - 1 do
+          if owner k = p then begin
+            (* my row k is up to date: publish it around the ring
+               first (pipelining), then update the rest of my block *)
+            let row = block.(k - lo) in
+            send_right (k, row);
+            apply_pivot k row
+          end
+          else begin
+            match recv () with
+            | Some (k', pk) ->
+                assert (k' = k);
+                apply_pivot k pk;
+                (* forward unless the next process is the owner *)
+                let next = (p + 1) mod nprocs in
+                if owner k <> next then send_right (k, pk)
+            | None -> failwith "apsp ring closed early"
+          end
+        done;
+        close_right ();
+        block)
+  in
+  (* blocks come back in ring order = row order *)
+  checksum (Array.concat blocks)
+
+(** Sequential baseline with the same cost model. *)
+let seq ?(seed = 7) ~n () =
+  Api.set_resident (resident n);
+  let adj = graph ~seed n in
+  Api.charge (Cost.make (4 * n * n) ~alloc:(16 * n * n));
+  Api.charge (Cost.scale (n * n) (row_update_cost n));
+  checksum (floyd_warshall adj)

@@ -1,0 +1,95 @@
+(** Euler's totient function: reference implementations and the cost
+    model of the paper's naive Haskell kernel.
+
+    The paper's sumEuler computes [phi] "naively":
+    {v phi n = length (filter (relprime n) [1..(n-1)]) v}
+    i.e. one [gcd] per candidate.  Running ~1.1e8 real gcds inside the
+    simulator for every configuration would be prohibitively slow, so:
+
+    - {!phi_naive} is the literal algorithm (used by tests and small
+      runs to validate values and the cost model);
+    - {!phi_fast} computes the same value via trial-division
+      factorisation ({i O(sqrt k)});
+    - {!phi_cost} charges the {e naive} algorithm's virtual cost, which
+      is what the simulated runtime accounts regardless of how the
+      value is obtained.
+
+    Cost model of the naive kernel (GHC-compiled, per candidate [j]):
+    an average Euclid gcd on a random pair (j, k) performs about
+    [0.843 * ln k] division steps (Knuth, TAOCP vol. 2, 4.5.3); each
+    step costs roughly [gcd_step_cycles] in compiled Haskell, plus
+    [elem_overhead_cycles] for the list traversal/filter machinery and
+    [elem_alloc_bytes] of cons-cell allocation. *)
+
+let gcd_step_cycles = 30
+let elem_overhead_cycles = 20
+
+(* GHC's gcd on unboxed Int is allocation-free; only the residual list
+   machinery of filter/length allocates. *)
+let elem_alloc_bytes = 8
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let relprime a b = gcd a b = 1
+
+(** The paper's literal kernel. *)
+let phi_naive k =
+  if k <= 0 then invalid_arg "Euler.phi_naive: k must be positive";
+  if k = 1 then 1
+  else begin
+    let count = ref 0 in
+    for j = 1 to k - 1 do
+      if relprime j k then incr count
+    done;
+    !count
+  end
+
+(** Same value, via factorisation: phi(k) = k * prod (1 - 1/p). *)
+let phi_fast k =
+  if k <= 0 then invalid_arg "Euler.phi_fast: k must be positive";
+  if k = 1 then 1
+  else begin
+    let n = ref k and result = ref k in
+    let p = ref 2 in
+    while !p * !p <= !n do
+      if !n mod !p = 0 then begin
+        while !n mod !p = 0 do
+          n := !n / !p
+        done;
+        result := !result / !p * (!p - 1)
+      end;
+      incr p
+    done;
+    if !n > 1 then result := !result / !n * (!n - 1);
+    !result
+  end
+
+(** Virtual cost of the naive [phi k]. *)
+let phi_cost k : Repro_util.Cost.t =
+  if k <= 1 then Repro_util.Cost.make 10 ~alloc:16
+  else begin
+    let candidates = k - 1 in
+    let gcd_steps = 0.843 *. log (float_of_int k) in
+    let cycles_per_elem =
+      int_of_float (Float.round (gcd_steps *. float_of_int gcd_step_cycles))
+      + elem_overhead_cycles
+    in
+    Repro_util.Cost.make (candidates * cycles_per_elem)
+      ~alloc:(candidates * elem_alloc_bytes)
+  end
+
+(** Cost of naive phi summed over a chunk. *)
+let chunk_cost ks =
+  List.fold_left (fun acc k -> Repro_util.Cost.add acc (phi_cost k)) Repro_util.Cost.zero ks
+
+(** Sequential reference: sum of [phi k] for [k] in [[1..n]]. *)
+let sum_euler_ref n = List.fold_left (fun acc k -> acc + phi_fast k) 0 (List.init n (fun i -> i + 1))
+
+(** Total naive-kernel cycles for problem size [n] (used by speedup
+    normalisation and calibration). *)
+let total_cycles n =
+  let acc = ref 0 in
+  for k = 1 to n do
+    acc := !acc + (phi_cost k).Repro_util.Cost.cycles
+  done;
+  !acc

@@ -1,0 +1,127 @@
+(** Dense float matrices: representation, reference multiply, blocked
+    kernels, and the virtual cost model of the paper's Haskell code.
+
+    The simulator can run matrix workloads in two payload modes:
+
+    - [Real]: block kernels actually compute (results are verified
+      against {!mul_ref}); used by tests, examples and small runs.
+    - [Synthetic]: kernels charge exactly the same virtual cost but skip
+      the floating-point work, so large parameter sweeps (the paper's
+      2000x2000 speedup curves) stay fast.  Virtual-time behaviour is
+      identical by construction: the cost charged does not depend on
+      the mode.  See DESIGN.md ("substitutions"). *)
+
+type payload = Real | Synthetic
+
+type mat = float array array
+
+let make n f : mat = Array.init n (fun i -> Array.init n (fun j -> f i j))
+
+let zero n : mat = Array.make_matrix n n 0.0
+
+(* Deterministic pseudo-random matrix (values in [0,1)). *)
+let random ~seed n : mat =
+  let rng = Repro_util.Rng.create seed in
+  make n (fun _ _ -> Repro_util.Rng.float rng)
+
+let checksum (m : mat) =
+  Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0.0 m
+
+(* Sequential reference multiply (ikj loop order). *)
+let mul_ref (a : mat) (b : mat) : mat =
+  let n = Array.length a in
+  let c = zero n in
+  for i = 0 to n - 1 do
+    let ai = a.(i) and ci = c.(i) in
+    for k = 0 to n - 1 do
+      let aik = ai.(k) in
+      if aik <> 0.0 then begin
+        let bk = b.(k) in
+        for j = 0 to n - 1 do
+          ci.(j) <- ci.(j) +. (aik *. bk.(j))
+        done
+      end
+    done
+  done;
+  c
+
+(* Compute the [bs x bs] block of [a*b] whose top-left corner is
+   [(r0, c0)], writing into [out] at the same position.
+
+   Each element is written by pure assignment (dot product into a
+   local accumulator), never read-modify-write: under lazy black-holing
+   the simulated runtime may evaluate the same block thunk twice, so
+   block kernels must be idempotent. *)
+let mul_block (a : mat) (b : mat) (out : mat) ~r0 ~c0 ~bs =
+  let n = Array.length a in
+  let r1 = min n (r0 + bs) and c1 = min n (c0 + bs) in
+  for i = r0 to r1 - 1 do
+    let ai = a.(i) and oi = out.(i) in
+    for j = c0 to c1 - 1 do
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (ai.(k) *. b.(k).(j))
+      done;
+      oi.(j) <- !s
+    done
+  done
+
+(* Compute one row segment of [a*b]: row [i], columns [c0..c0+cols).
+   Pure assignment (idempotent, see mul_block). *)
+let mul_row_segment (a : mat) (b : mat) (out : mat) ~i ~c0 ~cols =
+  let n = Array.length a in
+  let c1 = min n (c0 + cols) in
+  let ai = a.(i) and oi = out.(i) in
+  for j = c0 to c1 - 1 do
+    let s = ref 0.0 in
+    for k = 0 to n - 1 do
+      s := !s +. (ai.(k) *. b.(k).(j))
+    done;
+    oi.(j) <- !s
+  done
+
+(* Multiply-accumulate of two [m x m] blocks: [c += a * b]. *)
+let mac_block (a : mat) (b : mat) (c : mat) =
+  let m = Array.length a in
+  for i = 0 to m - 1 do
+    let ai = a.(i) and ci = c.(i) in
+    for k = 0 to m - 1 do
+      let aik = ai.(k) in
+      let bk = b.(k) in
+      for j = 0 to m - 1 do
+        ci.(j) <- ci.(j) +. (aik *. bk.(j))
+      done
+    done
+  done
+
+let sub_block (m : mat) ~r0 ~c0 ~bs : mat =
+  Array.init bs (fun i -> Array.sub m.(r0 + i) c0 bs)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cycles per multiply-accumulate in GHC-compiled code over unboxed
+   arrays (load, fused multiply-add, index arithmetic, bounds). *)
+let mac_cycles = 7
+
+(* Allocation per produced result element: the Haskell versions build
+   fresh (unboxed) result structures plus transient boxing. *)
+let elem_alloc_bytes = 10
+
+(* Virtual cost of producing a [rows x cols] piece of the result of an
+   [n]-dimension multiply. *)
+let block_cost ~n ~rows ~cols : Repro_util.Cost.t =
+  Repro_util.Cost.make
+    (rows * cols * n * mac_cycles)
+    ~alloc:(rows * cols * elem_alloc_bytes)
+
+(* Virtual cost of one [m x m] block multiply-accumulate (Cannon
+   round). *)
+let mac_block_cost ~m : Repro_util.Cost.t =
+  Repro_util.Cost.make (m * m * m * mac_cycles) ~alloc:(m * m * 4)
+
+let total_cycles ~n = n * n * n * mac_cycles
+
+(* Live data: the two input matrices plus the result. *)
+let resident ~n = 3 * n * n * 8

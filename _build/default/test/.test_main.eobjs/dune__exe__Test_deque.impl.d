@@ -1,0 +1,1 @@
+test/test_deque.ml: Alcotest Array Atomic Domain List QCheck QCheck_alcotest Repro_deque Spsc_queue Ws_deque

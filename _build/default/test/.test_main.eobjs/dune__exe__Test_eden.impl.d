@@ -1,0 +1,1 @@
+test/test_eden.ml: Alcotest Array List QCheck QCheck_alcotest Repro_core Repro_machine Repro_mp Repro_parrts Repro_util

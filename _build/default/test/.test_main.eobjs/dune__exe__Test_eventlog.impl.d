@@ -1,0 +1,1 @@
+test/test_eventlog.ml: Alcotest List Repro_core Repro_parrts Repro_trace Repro_util Repro_workloads String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Printf Repro_experiments Repro_trace Repro_util String

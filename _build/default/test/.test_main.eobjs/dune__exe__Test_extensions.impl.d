@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest List Option Printf QCheck QCheck_alcotest Repro_core Repro_machine Repro_mp Repro_parrts Repro_util Repro_workloads

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Filename List QCheck QCheck_alcotest Repro_core Repro_experiments Repro_machine Repro_mp Repro_parrts Repro_trace Repro_util Repro_workloads String Sys

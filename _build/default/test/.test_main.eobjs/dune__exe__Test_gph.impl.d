@@ -1,0 +1,1 @@
+test/test_gph.ml: Alcotest List QCheck QCheck_alcotest Repro_core Repro_heap Repro_machine Repro_parrts Repro_util

@@ -1,0 +1,1 @@
+test/test_gum.ml: Alcotest Array Fun List Option Repro_core Repro_parrts Repro_util Repro_workloads String

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest QCheck QCheck_alcotest Repro_heap

@@ -1,0 +1,1 @@
+test/test_rts.ml: Alcotest Array Fun List Option Repro_heap Repro_machine Repro_mp Repro_parrts Repro_trace Repro_util Repro_workloads String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Repro_machine Repro_sim Repro_trace String

@@ -1,0 +1,1 @@
+test/test_skeletons.ml: Alcotest Fun List QCheck QCheck_alcotest Repro_core Repro_machine Repro_mp Repro_parrts Repro_util String

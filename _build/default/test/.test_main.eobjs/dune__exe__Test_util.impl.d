@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cost Float Fun Gen List Listx Prio_queue QCheck QCheck_alcotest Repro_util Rng Stats String Tablefmt

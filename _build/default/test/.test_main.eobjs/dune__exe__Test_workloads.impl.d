@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Repro_core Repro_parrts Repro_util Repro_workloads

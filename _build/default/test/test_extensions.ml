@@ -1,0 +1,219 @@
+(** Tests for the extension features (DESIGN.md Sec. 5): spark-pool
+    overflow, thread stealing, spark-runner ablation, and the extra
+    workloads (parfib, Mandelbrot). *)
+
+module Rts = Repro_parrts.Rts
+module Api = Repro_parrts.Rts.Api
+module Config = Repro_parrts.Config
+module Report = Repro_parrts.Report
+module Cost = Repro_util.Cost
+module V = Repro_core.Versions
+module W = Repro_workloads
+module Machine = Repro_machine.Machine
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+let cfg ?(ncaps = 4) () =
+  let machine = Machine.make ~name:"t" ~cores:ncaps ~clock_ghz:1.0 () in
+  Config.default ~machine ~ncaps ()
+
+(* ---------------- spark pool overflow ---------------- *)
+
+let spark_pool_overflows () =
+  let c = { (cfg ~ncaps:1 ()) with spark_pool_capacity = 8 } in
+  let _, report = Rts.run c (fun () ->
+      for _ = 1 to 100 do
+        Api.spark ~still_needed:(fun () -> true) (fun () -> ())
+      done)
+  in
+  check Alcotest.int "8 kept" 8 report.Report.sparks.created;
+  check Alcotest.int "92 overflowed" 92 report.Report.sparks.overflowed
+
+let spark_pool_default_capacity () =
+  let _, report = Rts.run (cfg ~ncaps:1 ()) (fun () ->
+      for _ = 1 to 5000 do
+        Api.spark ~still_needed:(fun () -> true) (fun () -> ())
+      done)
+  in
+  (* GHC default: 4096-entry ring *)
+  check Alcotest.int "4096 kept" 4096 report.Report.sparks.created;
+  check Alcotest.int "rest overflowed" 904 report.Report.sparks.overflowed
+
+(* ---------------- thread stealing ---------------- *)
+
+let thread_work ~nthreads () =
+  let remaining = ref nthreads and waiter = ref None in
+  for _ = 1 to nthreads do
+    ignore
+      (Api.spawn (fun () ->
+           Api.charge (Cost.make 2_000_000 ~alloc:16_384);
+           decr remaining;
+           if !remaining = 0 then Option.iter (fun k -> k ()) !waiter))
+  done;
+  if !remaining > 0 then Api.block (fun wake -> waiter := Some wake)
+
+let thread_stealing_pulls_work () =
+  let base =
+    {
+      (cfg ~ncaps:4 ()) with
+      load_balance = Config.Work_stealing;
+      migrate_threads = false;
+    }
+  in
+  let with_steal = { base with steal_threads = true } in
+  let _, r_off = Rts.run base (thread_work ~nthreads:16) in
+  let _, r_on = Rts.run with_steal (thread_work ~nthreads:16) in
+  check Alcotest.int "no stealing when disabled" 0 r_off.Report.threads_stolen;
+  check Alcotest.bool "threads stolen when enabled" true
+    (r_on.Report.threads_stolen > 0);
+  check Alcotest.bool "stealing improves elapsed time" true
+    (r_on.Report.elapsed_ns < r_off.Report.elapsed_ns)
+
+let thread_stealing_never_in_distributed () =
+  let c =
+    {
+      (cfg ~ncaps:4 ()) with
+      load_balance = Config.Work_stealing;
+      steal_threads = true;
+      migrate_threads = false;
+      heap_mode = Config.Distributed Repro_mp.Transport.shm;
+    }
+  in
+  let _, report = Rts.run c (thread_work ~nthreads:8) in
+  check Alcotest.int "PE heaps confine threads" 0 report.Report.threads_stolen
+
+(* ---------------- spark runner ablation ---------------- *)
+
+let spark_threads_create_fewer_threads () =
+  let work () =
+    let remaining = ref 64 and waiter = ref None in
+    for _ = 1 to 64 do
+      Api.spark ~still_needed:(fun () -> true) (fun () ->
+          Api.charge (Cost.make 500_000 ~alloc:4096);
+          decr remaining;
+          if !remaining = 0 then Option.iter (fun k -> k ()) !waiter)
+    done;
+    if !remaining > 0 then Api.block (fun wake -> waiter := Some wake)
+  in
+  let steal = { (cfg ~ncaps:4 ()) with load_balance = Config.Work_stealing } in
+  let tps = { steal with spark_runner = Config.Thread_per_spark } in
+  let st = { steal with spark_runner = Config.Spark_threads } in
+  let _, r_tps = Rts.run tps work in
+  let _, r_st = Rts.run st work in
+  check Alcotest.bool "thread-per-spark creates one thread per spark" true
+    (r_tps.Report.threads_created >= 64);
+  check Alcotest.bool "spark threads amortise creation" true
+    (r_st.Report.threads_created < r_tps.Report.threads_created / 4)
+
+(* ---------------- parfib ---------------- *)
+
+let parfib_known_values () =
+  List.iter
+    (fun (n, v) -> check Alcotest.int (Printf.sprintf "nfib %d" n) v (W.Parfib.reference n))
+    [ (0, 1); (1, 1); (2, 3); (3, 5); (10, 177); (20, 21891) ]
+
+let parfib_gph_correct () =
+  let v, report =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+        W.Parfib.gph ~n:18 ~threshold:8 ())
+  in
+  check Alcotest.int "value" (W.Parfib.reference 18) v;
+  check Alcotest.bool "sparked a lot" true (report.Report.sparks.created > 50)
+
+let parfib_threshold_above_n_is_sequential () =
+  let _, report =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+        ignore (W.Parfib.gph ~n:12 ~threshold:13 ()))
+  in
+  check Alcotest.int "no sparks" 0 report.Report.sparks.created
+
+let parfib_eden_correct () =
+  List.iter
+    (fun depth ->
+      let v, _ =
+        Rts.run (V.eden ~npes:4 ()).config (fun () ->
+            W.Parfib.eden ~n:16 ~depth ())
+      in
+      check Alcotest.int (Printf.sprintf "depth %d" depth)
+        (W.Parfib.reference 16) v)
+    [ 0; 1; 2; 3 ]
+
+let qcheck_parfib =
+  QCheck.Test.make ~name:"parfib == nfib (any n, threshold)" ~count:25
+    QCheck.(pair (int_range 3 16) (int_range 1 18))
+    (fun (n, threshold) ->
+      (* the shrinker can step outside the generator's range *)
+      let n = max 3 n and threshold = max 1 threshold in
+      let v, _ =
+        Rts.run (V.gph_steal ~ncaps:3 ()).config (fun () ->
+            W.Parfib.gph ~n ~threshold ())
+      in
+      v = W.Parfib.reference n)
+
+let parfib_granularity_tradeoff () =
+  (* very fine granularity must create many more sparks than coarse *)
+  let sparks threshold =
+    let _, r =
+      Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+          ignore (W.Parfib.gph ~n:20 ~threshold ()))
+    in
+    r.Report.sparks.created + r.Report.sparks.overflowed
+  in
+  check Alcotest.bool "finer threshold = more sparks" true
+    (sparks 5 > 10 * sparks 15)
+
+(* ---------------- mandelbrot ---------------- *)
+
+let mandelbrot_variants_agree () =
+  let width = 48 and height = 24 in
+  let want = W.Mandelbrot.reference ~width ~height () in
+  let g, _ =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+        W.Mandelbrot.gph ~width ~height ())
+  in
+  let mw, _ =
+    Rts.run (V.eden ~npes:4 ()).config (fun () ->
+        W.Mandelbrot.eden_mw ~width ~height ())
+  in
+  let farm, _ =
+    Rts.run (V.eden ~npes:4 ()).config (fun () ->
+        W.Mandelbrot.eden_farm ~width ~height ())
+  in
+  check Alcotest.int "gph" want g;
+  check Alcotest.int "master-worker" want mw;
+  check Alcotest.int "farm" want farm
+
+let mandelbrot_escape_sanity () =
+  (* the origin never escapes; a point far outside escapes immediately *)
+  check Alcotest.int "origin maxes out" 255 (W.Mandelbrot.escape ~max_iter:255 0.0 0.0);
+  check Alcotest.int "outside escapes fast" 1
+    (W.Mandelbrot.escape ~max_iter:255 10.0 10.0)
+
+let mandelbrot_rows_irregular () =
+  (* row costs must differ substantially across the image *)
+  let view = W.Mandelbrot.default_view in
+  let _, t_edge = W.Mandelbrot.compute_row ~view ~width:64 ~height:64 0 in
+  let _, t_mid = W.Mandelbrot.compute_row ~view ~width:64 ~height:64 32 in
+  check Alcotest.bool "middle rows cost more" true (t_mid > 2 * t_edge)
+
+let suite =
+  ( "extensions",
+    [
+      test_case "spark pool overflows" `Quick spark_pool_overflows;
+      test_case "spark pool default capacity" `Quick spark_pool_default_capacity;
+      test_case "thread stealing pulls work" `Quick thread_stealing_pulls_work;
+      test_case "thread stealing not in distributed mode" `Quick
+        thread_stealing_never_in_distributed;
+      test_case "spark threads amortise creation" `Quick
+        spark_threads_create_fewer_threads;
+      test_case "parfib known values" `Quick parfib_known_values;
+      test_case "parfib gph correct" `Quick parfib_gph_correct;
+      test_case "parfib threshold above n" `Quick parfib_threshold_above_n_is_sequential;
+      test_case "parfib eden depths" `Quick parfib_eden_correct;
+      QCheck_alcotest.to_alcotest qcheck_parfib;
+      test_case "parfib granularity tradeoff" `Quick parfib_granularity_tradeoff;
+      test_case "mandelbrot variants agree" `Quick mandelbrot_variants_agree;
+      test_case "mandelbrot escape sanity" `Quick mandelbrot_escape_sanity;
+      test_case "mandelbrot rows irregular" `Quick mandelbrot_rows_irregular;
+    ] )

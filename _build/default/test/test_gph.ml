@@ -1,0 +1,188 @@
+(** Tests for the GpH layer: par/seq, force semantics under both
+    black-holing policies, evaluation strategies. *)
+
+module Rts = Repro_parrts.Rts
+module Api = Repro_parrts.Rts.Api
+module Config = Repro_parrts.Config
+module Cost = Repro_util.Cost
+module Gph = Repro_core.Gph
+module Machine = Repro_machine.Machine
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+let cfg ?(ncaps = 4) ?(blackholing = Config.Lazy_bh) () =
+  let machine = Machine.make ~name:"t" ~cores:ncaps ~clock_ghz:1.0 () in
+  let c = Config.default ~machine ~ncaps () in
+  { c with blackholing; load_balance = Config.Work_stealing }
+
+let run ?ncaps ?blackholing f = fst (Rts.run (cfg ?ncaps ?blackholing ()) f)
+
+let force_memoises () =
+  let v = run (fun () ->
+      let count = ref 0 in
+      let n = Gph.thunk ~cost:(Cost.cycles 100) (fun () -> incr count; 5) in
+      let a = Gph.force n in
+      let b = Gph.force n in
+      (a, b, !count))
+  in
+  check Alcotest.(triple int int int) "evaluated once" (5, 5, 1) v
+
+let return_is_value () =
+  let v = run (fun () ->
+      let n = Gph.return 9 in
+      Gph.force n)
+  in
+  check Alcotest.int "return" 9 v
+
+let par_evaluates_in_background () =
+  let v = run (fun () ->
+      let n = Gph.thunk ~cost:(Cost.make 100_000 ~alloc:4096) (fun () -> 11) in
+      Gph.par n;
+      (* give the spark time to be stolen and run *)
+      Api.charge (Cost.make 10_000_000 ~alloc:65536);
+      let was_done = Repro_heap.Node.is_value n in
+      (was_done, Gph.force n))
+  in
+  check Alcotest.(pair bool int) "spark evaluated it" (true, 11) v
+
+let seq_forces_now () =
+  let v = run (fun () ->
+      let n = Gph.thunk ~cost:(Cost.cycles 10) (fun () -> 3) in
+      Gph.seq n;
+      Repro_heap.Node.is_value n)
+  in
+  check Alcotest.bool "forced" true v
+
+let strategies_equal_sequential () =
+  let xs = List.init 30 (fun i -> i * i) in
+  let v = run (fun () ->
+      let nodes =
+        List.map (fun x -> Gph.thunk ~cost:(Cost.cycles 1000) (fun () -> x + 1)) xs
+      in
+      Gph.par_list Gph.rwhnf nodes;
+      List.map Gph.force nodes)
+  in
+  check Alcotest.(list int) "parList == map" (List.map (fun x -> x + 1) xs) v
+
+let using_returns_argument () =
+  let v = run (fun () ->
+      let n = Gph.thunk ~cost:(Cost.cycles 5) (fun () -> 1) in
+      let n' = Gph.using n Gph.rwhnf in
+      Repro_heap.Node.is_value n' && Gph.force n' = 1)
+  in
+  check Alcotest.bool "using" true v
+
+let r0_does_nothing () =
+  let v = run (fun () ->
+      let n = Gph.thunk ~cost:(Cost.cycles 5) (fun () -> 1) in
+      Gph.r0 n;
+      Repro_heap.Node.is_value n)
+  in
+  check Alcotest.bool "r0 leaves thunk" false v
+
+let par_chunks_correct () =
+  let xs = List.init 97 (fun i -> i + 1) in
+  let v = run (fun () ->
+      Gph.par_chunks ~chunks:8
+        ~cost:(fun piece -> Cost.cycles (100 * List.length piece))
+        ~f:(List.fold_left ( + ) 0)
+        ~combine:(List.fold_left ( + ) 0)
+        xs)
+  in
+  check Alcotest.int "sum" (97 * 98 / 2) v
+
+let par_map_correct () =
+  let v = run (fun () ->
+      Gph.par_map ~cost:(fun _ -> Cost.cycles 500) (fun x -> x * 3)
+        [ 1; 2; 3; 4; 5 ])
+  in
+  check Alcotest.(list int) "par_map" [ 3; 6; 9; 12; 15 ] v
+
+(* Under eager black-holing, a shared thunk forced by many sparks must
+   be evaluated exactly once; under lazy black-holing it may be
+   duplicated but the result must still be correct. *)
+let shared_thunk_eager_once () =
+  let count, res = run ~blackholing:Config.Eager_bh (fun () ->
+      let count = ref 0 in
+      let shared =
+        Gph.thunk ~cost:(Cost.make 500_000 ~alloc:8192) (fun () ->
+            incr count;
+            42)
+      in
+      let users =
+        List.init 8 (fun _ ->
+            Gph.thunk ~cost:(Cost.make 1_000 ~alloc:128) (fun () ->
+                Gph.force shared + 1))
+      in
+      Gph.par_list Gph.rwhnf users;
+      let sum = List.fold_left (fun a n -> a + Gph.force n) 0 users in
+      (!count, sum))
+  in
+  check Alcotest.int "exactly one evaluation" 1 count;
+  check Alcotest.int "all users correct" (8 * 43) res
+
+let shared_thunk_lazy_correct () =
+  let count, res = run ~blackholing:Config.Lazy_bh (fun () ->
+      let count = ref 0 in
+      let shared =
+        Gph.thunk ~cost:(Cost.make 500_000 ~alloc:8192) (fun () ->
+            incr count;
+            42)
+      in
+      let users =
+        List.init 8 (fun _ ->
+            Gph.thunk ~cost:(Cost.make 1_000 ~alloc:128) (fun () ->
+                Gph.force shared + 1))
+      in
+      Gph.par_list Gph.rwhnf users;
+      let sum = List.fold_left (fun a n -> a + Gph.force n) 0 users in
+      (!count, sum))
+  in
+  check Alcotest.bool "evaluated at least once" true (count >= 1);
+  check Alcotest.int "result correct despite duplication" (8 * 43) res
+
+let qcheck_par_chunks_equals_seq =
+  QCheck.Test.make ~name:"par_chunks sum == sequential sum (any list, any chunking)"
+    ~count:60
+    QCheck.(pair (int_range 1 16) (small_list small_nat))
+    (fun (chunks, xs) ->
+      QCheck.assume (xs <> []);
+      let expect = List.fold_left ( + ) 0 xs in
+      let got =
+        run (fun () ->
+            Gph.par_chunks ~chunks
+              ~cost:(fun piece -> Cost.cycles (10 * (1 + List.length piece)))
+              ~f:(List.fold_left ( + ) 0)
+              ~combine:(List.fold_left ( + ) 0)
+              xs)
+      in
+      got = expect)
+
+let qcheck_par_map_equals_map =
+  QCheck.Test.make ~name:"par_map == List.map (any ncaps)" ~count:40
+    QCheck.(pair (int_range 1 8) (small_list (int_range (-1000) 1000)))
+    (fun (ncaps, xs) ->
+      let got =
+        run ~ncaps (fun () ->
+            Gph.par_map ~cost:(fun _ -> Cost.cycles 200) (fun x -> (2 * x) - 7) xs)
+      in
+      got = List.map (fun x -> (2 * x) - 7) xs)
+
+let suite =
+  ( "gph",
+    [
+      test_case "force memoises" `Quick force_memoises;
+      test_case "return is a value" `Quick return_is_value;
+      test_case "par evaluates in background" `Quick par_evaluates_in_background;
+      test_case "seq forces now" `Quick seq_forces_now;
+      test_case "parList == map" `Quick strategies_equal_sequential;
+      test_case "using returns its argument" `Quick using_returns_argument;
+      test_case "r0 does nothing" `Quick r0_does_nothing;
+      test_case "par_chunks correct" `Quick par_chunks_correct;
+      test_case "par_map correct" `Quick par_map_correct;
+      test_case "shared thunk: eager evaluates once" `Quick shared_thunk_eager_once;
+      test_case "shared thunk: lazy stays correct" `Quick shared_thunk_lazy_correct;
+      QCheck_alcotest.to_alcotest qcheck_par_chunks_equals_seq;
+      QCheck_alcotest.to_alcotest qcheck_par_map_equals_map;
+    ] )

@@ -1,0 +1,146 @@
+(** Tests for the GUM layer: fishing work distribution, global
+    addresses with FETCH, weighted reference counting. *)
+
+module Rts = Repro_parrts.Rts
+module Api = Repro_parrts.Rts.Api
+module Config = Repro_parrts.Config
+module Cost = Repro_util.Cost
+module V = Repro_core.Versions
+module Gum = Repro_core.Gum
+module W = Repro_workloads
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+let run ?(npes = 4) f = Rts.run (V.gum ~npes ()).config (fun () -> Gum.main f)
+
+let sumeuler_correct () =
+  let n = 1200 in
+  let v, _ =
+    Rts.run (V.gum ~npes:4 ()).config (fun () -> W.Sumeuler.gum ~n ())
+  in
+  check Alcotest.int "value" (W.Euler.sum_euler_ref n) v
+
+let fishing_distributes_work () =
+  let (value, st), report = run ~npes:4 (fun () ->
+      let caps_used = Array.make 4 false in
+      let pieces = Repro_util.Listx.unshuffle 16 (List.init 400 (fun i -> i + 1)) in
+      let sum =
+        Gum.par_chunk_sum
+          ~chunk_cost:(fun ks -> Cost.make (50_000 * List.length ks) ~alloc:(256 * List.length ks))
+          ~f:(fun ks ->
+            caps_used.(Api.my_cap ()) <- true;
+            List.fold_left ( + ) 0 ks)
+          pieces
+      in
+      (sum + (if Array.for_all Fun.id caps_used then 0 else 0), Gum.stats ()))
+  in
+  check Alcotest.int "sum" (400 * 401 / 2) value;
+  check Alcotest.bool "fish messages sent" true (st.Gum.fish_sent > 0);
+  check Alcotest.bool "schedules granted" true (st.Gum.schedules > 0);
+  check Alcotest.bool "protocol messages counted" true
+    (report.Repro_parrts.Report.messages.sent > st.Gum.schedules)
+
+let nofish_when_no_work () =
+  let st, _ = run ~npes:3 (fun () ->
+      (* no sparks at all: fishers fish, victims refuse, main finishes *)
+      Api.charge (Cost.make 5_000_000 ~alloc:100_000);
+      Gum.stats ())
+  in
+  check Alcotest.bool "refusals happened" true (st.Gum.nofish > 0);
+  check Alcotest.int "nothing scheduled" 0 st.Gum.schedules
+
+let fetch_returns_and_caches () =
+  let (v1, v2, fetches), report = run ~npes:2 (fun () ->
+      let g = Gum.global ~bytes:8192 [| 1; 2; 3 |] in
+      let out = ref None in
+      let waiter = ref None in
+      ignore
+        (Api.spawn ~cap:1 (fun () ->
+             (* first fetch: remote, pays messages; second: cached *)
+             let a = (Gum.fetch g).(0) in
+             let b = (Gum.fetch g).(1) in
+             out := Some (a, b);
+             Option.iter (fun k -> k ()) !waiter));
+      if !out = None then Api.block (fun wake -> waiter := Some wake);
+      let a, b = Option.get !out in
+      (a, b, (Gum.stats ()).Gum.fetches))
+  in
+  check Alcotest.int "first element" 1 v1;
+  check Alcotest.int "second element" 2 v2;
+  check Alcotest.int "only one FETCH (second hit the cache)" 1 fetches;
+  (* FETCH + RESUME at least *)
+  check Alcotest.bool "messages flowed" true
+    (report.Repro_parrts.Report.messages.sent >= 2)
+
+let owner_fetch_is_free () =
+  let fetches, report = run ~npes:2 (fun () ->
+      let g = Gum.global ~bytes:1024 42 in
+      let v = Gum.fetch g in
+      assert (v = 42);
+      (Gum.stats ()).Gum.fetches)
+  in
+  check Alcotest.int "no FETCH for the owner" 0 fetches;
+  check Alcotest.int "no messages" 0 report.Repro_parrts.Report.messages.sent
+
+let weighted_rc_no_leaks () =
+  let live, _ = run ~npes:2 (fun () ->
+      let gs = List.init 10 (fun i -> Gum.global ~bytes:64 i) in
+      check Alcotest.int "ten live entries" 10 (Gum.live_gaddrs ());
+      List.iter Gum.release gs;
+      Gum.live_gaddrs ())
+  in
+  check Alcotest.int "all entries reclaimed" 0 live
+
+let weight_splitting () =
+  let live, _ = run ~npes:2 (fun () ->
+      let g = Gum.global ~bytes:64 7 in
+      (* simulate shipping: split weight off, then return both parts *)
+      let w1 = Gum.split_weight g in
+      let w2 = Gum.split_weight g in
+      check Alcotest.bool "weights positive" true (w1 > 0 && w2 > 0);
+      (* returning only the split parts must NOT free the entry *)
+      Gum.return_weight (Gum.ctx ()) g w1;
+      Gum.return_weight (Gum.ctx ()) g w2;
+      check Alcotest.int "entry still live" 1 (Gum.live_gaddrs ());
+      Gum.release g;
+      Gum.live_gaddrs ())
+  in
+  check Alcotest.int "freed after full return" 0 live
+
+let requires_distributed_mode () =
+  match
+    Rts.run (V.gph_plain ~ncaps:2 ()).config (fun () -> Gum.main (fun () -> ()))
+  with
+  | exception Failure msg ->
+      check Alcotest.bool "error mentions requirement" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "Gum.main must reject shared-heap configurations"
+
+let gum_vs_eden_overhead () =
+  (* GUM's passive distribution must cost (many) more messages than
+     Eden's explicit processes on the same problem *)
+  let n = 2000 in
+  let _, gum_rep =
+    Rts.run (V.gum ~npes:4 ()).config (fun () -> W.Sumeuler.gum ~n ())
+  in
+  let _, eden_rep =
+    Rts.run (V.eden ~npes:4 ()).config (fun () -> W.Sumeuler.eden ~n ())
+  in
+  check Alcotest.bool "gum sends more messages" true
+    (gum_rep.Repro_parrts.Report.messages.sent
+     > 4 * eden_rep.Repro_parrts.Report.messages.sent)
+
+let suite =
+  ( "gum",
+    [
+      test_case "sumEuler on GUM correct" `Quick sumeuler_correct;
+      test_case "fishing distributes work" `Quick fishing_distributes_work;
+      test_case "NOFISH when no work" `Quick nofish_when_no_work;
+      test_case "fetch returns and caches" `Quick fetch_returns_and_caches;
+      test_case "owner fetch is free" `Quick owner_fetch_is_free;
+      test_case "weighted RC: no leaks" `Quick weighted_rc_no_leaks;
+      test_case "weighted RC: splitting" `Quick weight_splitting;
+      test_case "requires distributed mode" `Quick requires_distributed_mode;
+      test_case "gum vs eden message overhead" `Quick gum_vs_eden_overhead;
+    ] )

@@ -1,0 +1,156 @@
+(** Tests for the reified lazy heap (thunks, black holes) and the GC
+    cost model. *)
+
+module Node = Repro_heap.Node
+module Gc_model = Repro_heap.Gc_model
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+let thunk_lifecycle () =
+  let reg = Node.registry () in
+  let n = Node.thunk reg (fun () -> 41 + 1) in
+  check Alcotest.bool "not value" false (Node.is_value n);
+  check Alcotest.(option int) "peek none" None (Node.peek n);
+  (match Node.enter ~eager:false n with
+  | Node.Evaluate f ->
+      let v = f () in
+      check Alcotest.bool "update installs" true (Node.update n v)
+  | _ -> Alcotest.fail "expected Evaluate");
+  check Alcotest.bool "is value" true (Node.is_value n);
+  check Alcotest.(option int) "peek" (Some 42) (Node.peek n);
+  (match Node.enter ~eager:false n with
+  | Node.Ready v -> check Alcotest.int "ready" 42 v
+  | _ -> Alcotest.fail "expected Ready");
+  check Alcotest.int "get_value" 42 (Node.get_value n)
+
+let eager_marks_blackhole () =
+  let reg = Node.registry () in
+  let n = Node.thunk reg (fun () -> 1) in
+  (match Node.enter ~eager:true n with
+  | Node.Evaluate _ -> ()
+  | _ -> Alcotest.fail "expected Evaluate");
+  check Alcotest.bool "black-holed" true (Node.is_blackhole n);
+  (* a second entry must wait *)
+  (match Node.enter ~eager:true n with
+  | Node.Wait -> ()
+  | _ -> Alcotest.fail "expected Wait");
+  check Alcotest.int "blocked force counted" 1 reg.Node.blocked_forces
+
+let lazy_allows_duplicates () =
+  let reg = Node.registry () in
+  let n = Node.thunk reg (fun () -> 7) in
+  (match Node.enter ~eager:false n with
+  | Node.Evaluate _ -> ()
+  | _ -> Alcotest.fail "first entry");
+  (* second concurrent entry duplicates instead of waiting *)
+  (match Node.enter ~eager:false n with
+  | Node.Evaluate _ -> ()
+  | _ -> Alcotest.fail "second entry should duplicate");
+  check Alcotest.int "duplicate counted" 1 reg.Node.dup_entries;
+  ignore (Node.update n 7);
+  check Alcotest.bool "second update is duplicate" false (Node.update n 7);
+  check Alcotest.int "dup update counted" 1 reg.Node.dup_updates
+
+let retroactive_blackholing () =
+  let reg = Node.registry () in
+  let n = Node.thunk reg (fun () -> 7) in
+  (match Node.enter ~eager:false n with
+  | Node.Evaluate _ -> ()
+  | _ -> Alcotest.fail "enter");
+  check Alcotest.bool "marks unevaluated" true (Node.blackhole_if_unevaluated n);
+  check Alcotest.bool "now a black hole" true (Node.is_blackhole n);
+  check Alcotest.bool "idempotent" false (Node.blackhole_if_unevaluated n);
+  (* a boxed value is never marked *)
+  let v = Node.value reg 1 in
+  Node.blackhole_boxed (Node.Boxed v);
+  check Alcotest.bool "value untouched" true (Node.is_value v)
+
+let waiters_fire_once () =
+  let reg = Node.registry () in
+  let n = Node.thunk reg (fun () -> 3) in
+  ignore (Node.enter ~eager:true n);
+  let fired = ref 0 in
+  Node.add_waiter n (fun () -> incr fired);
+  Node.add_waiter n (fun () -> incr fired);
+  check Alcotest.int "registered" 2 (Node.waiters_count n);
+  ignore (Node.update n 3);
+  check Alcotest.int "both woken" 2 !fired;
+  check Alcotest.int "list cleared" 0 (Node.waiters_count n);
+  (* waiter added after the value fires immediately (no lost wakeup) *)
+  Node.add_waiter n (fun () -> incr fired);
+  check Alcotest.int "immediate wake" 3 !fired
+
+let registry_counts () =
+  let reg = Node.registry () in
+  let a = Node.thunk reg (fun () -> 1) in
+  let _b = Node.thunk reg (fun () -> 2) in
+  check Alcotest.int "created" 2 reg.Node.created;
+  ignore (Node.enter ~eager:false a);
+  check Alcotest.int "entered" 1 reg.Node.entered;
+  ignore (Node.update a 1);
+  check Alcotest.int "updates" 1 reg.Node.updates
+
+(* ---------------- GC cost model ---------------- *)
+
+let gc_minor_scaling () =
+  let g = Gc_model.default in
+  let p1 = Gc_model.minor_pause_ns g ~ncaps:8 ~allocated:(1 lsl 20) in
+  let p2 = Gc_model.minor_pause_ns g ~ncaps:8 ~allocated:(1 lsl 24) in
+  check Alcotest.bool "pause grows with allocation" true (p2 > p1);
+  let p_few_caps = Gc_model.minor_pause_ns g ~ncaps:1 ~allocated:(1 lsl 20) in
+  check Alcotest.bool "barrier term grows with caps" true (p1 > p_few_caps)
+
+let gc_sync_modes () =
+  let g = Gc_model.default in
+  let gi = Gc_model.improved_sync g in
+  check Alcotest.bool "improved is cheaper" true
+    (Gc_model.sync_entry_ns gi < Gc_model.sync_entry_ns g);
+  let pl = Gc_model.minor_pause_ns g ~ncaps:8 ~allocated:(1 lsl 22) in
+  let pi = Gc_model.minor_pause_ns gi ~ncaps:8 ~allocated:(1 lsl 22) in
+  check Alcotest.bool "improved pause smaller" true (pi < pl)
+
+let gc_big_area () =
+  let g = Gc_model.big_area Gc_model.default in
+  check Alcotest.int "8 MB" (8 * 1024 * 1024) g.Gc_model.alloc_area;
+  let g2 = Gc_model.big_area ~bytes:(2 * 1024 * 1024) Gc_model.default in
+  check Alcotest.int "custom" (2 * 1024 * 1024) g2.Gc_model.alloc_area
+
+let gc_independent () =
+  let g = Gc_model.default in
+  let minor =
+    Gc_model.independent_pause_ns g ~allocated:(1 lsl 20) ~resident:(1 lsl 24)
+      ~is_major:false
+  in
+  let major =
+    Gc_model.independent_pause_ns g ~allocated:(1 lsl 20) ~resident:(1 lsl 24)
+      ~is_major:true
+  in
+  check Alcotest.bool "major traces resident set" true (major > minor);
+  (* independent minor has no per-capability barrier term *)
+  let barrier = Gc_model.minor_pause_ns g ~ncaps:16 ~allocated:(1 lsl 20) in
+  check Alcotest.bool "no barrier term" true (minor < barrier)
+
+let gc_qcheck_monotone =
+  QCheck.Test.make ~name:"minor pause monotone in allocated bytes" ~count:100
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Gc_model.minor_pause_ns Gc_model.default ~ncaps:4 ~allocated:lo
+      <= Gc_model.minor_pause_ns Gc_model.default ~ncaps:4 ~allocated:hi)
+
+let suite =
+  ( "heap",
+    [
+      test_case "thunk lifecycle" `Quick thunk_lifecycle;
+      test_case "eager marks black hole" `Quick eager_marks_blackhole;
+      test_case "lazy allows duplicates" `Quick lazy_allows_duplicates;
+      test_case "retroactive black-holing" `Quick retroactive_blackholing;
+      test_case "waiters fire exactly once" `Quick waiters_fire_once;
+      test_case "registry counts" `Quick registry_counts;
+      test_case "gc minor scaling" `Quick gc_minor_scaling;
+      test_case "gc sync modes" `Quick gc_sync_modes;
+      test_case "gc big area" `Quick gc_big_area;
+      test_case "gc independent collections" `Quick gc_independent;
+      QCheck_alcotest.to_alcotest gc_qcheck_monotone;
+    ] )

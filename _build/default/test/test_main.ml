@@ -1,0 +1,20 @@
+(** Test runner: aggregates every suite. *)
+
+let () =
+  Alcotest.run "repro"
+    [
+      Test_util.suite;
+      Test_deque.suite;
+      Test_sim.suite;
+      Test_heap.suite;
+      Test_rts.suite;
+      Test_gph.suite;
+      Test_eden.suite;
+      Test_skeletons.suite;
+      Test_workloads.suite;
+      Test_extensions.suite;
+      Test_extras.suite;
+      Test_eventlog.suite;
+      Test_gum.suite;
+      Test_experiments.suite;
+    ]

@@ -1,0 +1,175 @@
+(** Tests for the discrete-event engine, the trace recorder/renderers
+    and the machine model. *)
+
+module Engine = Repro_sim.Engine
+module Trace = Repro_trace.Trace
+module Render = Repro_trace.Render
+module Machine = Repro_machine.Machine
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+(* ---------------- Engine ---------------- *)
+
+let engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 30 (fun () -> log := 30 :: !log);
+  Engine.at e 10 (fun () -> log := 10 :: !log);
+  Engine.at e 20 (fun () -> log := 20 :: !log);
+  let final = Engine.run e in
+  check Alcotest.(list int) "time order" [ 10; 20; 30 ] (List.rev !log);
+  check Alcotest.int "final time" 30 final;
+  check Alcotest.int "dispatched" 3 (Engine.dispatched e)
+
+let engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter (fun i -> Engine.at e 5 (fun () -> log := i :: !log)) [ 1; 2; 3 ];
+  ignore (Engine.run e);
+  check Alcotest.(list int) "stable at same instant" [ 1; 2; 3 ] (List.rev !log)
+
+let engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 10 (fun () ->
+      log := "a" :: !log;
+      Engine.after e 5 (fun () -> log := "b" :: !log);
+      Engine.after e 0 (fun () -> log := "a2" :: !log));
+  ignore (Engine.run e);
+  check Alcotest.(list string) "nested events" [ "a"; "a2"; "b" ] (List.rev !log)
+
+let engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.at e 10 (fun () -> ());
+  ignore (Engine.run e);
+  Alcotest.check_raises "past event"
+    (Invalid_argument "Engine.at: time 5 is in the past (now=10)") (fun () ->
+      Engine.at e 5 (fun () -> ()))
+
+let engine_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 10 (fun () -> log := 10 :: !log);
+  Engine.at e 50 (fun () -> log := 50 :: !log);
+  let t = Engine.run ~until:20 e in
+  check Alcotest.int "paused at limit" 20 t;
+  check Alcotest.(list int) "only first fired" [ 10 ] (List.rev !log);
+  ignore (Engine.run e);
+  check Alcotest.(list int) "resumed" [ 10; 50 ] (List.rev !log)
+
+let engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.at e 1 (fun () ->
+      incr count;
+      Engine.stop e);
+  Engine.at e 2 (fun () -> incr count);
+  ignore (Engine.run e);
+  check Alcotest.int "stopped early" 1 !count
+
+let engine_horizon () =
+  let e = Engine.create ~horizon:100 () in
+  Engine.at e 101 (fun () -> ());
+  Alcotest.check_raises "horizon" (Engine.Horizon_exceeded 101) (fun () ->
+      ignore (Engine.run e))
+
+(* ---------------- Trace ---------------- *)
+
+let trace_segments () =
+  let t = Trace.create ~caps:2 in
+  Trace.set_state t ~time:0 ~cap:0 Trace.Running;
+  Trace.set_state t ~time:50 ~cap:0 Trace.Idle;
+  Trace.set_state t ~time:80 ~cap:0 Trace.Running;
+  Trace.finish t ~time:100;
+  let segs = Trace.segments t in
+  check Alcotest.int "cap0 segments" 3 (List.length segs.(0));
+  (match segs.(0) with
+  | [ (0, 50, Trace.Running); (50, 80, Trace.Idle); (80, 100, Trace.Running) ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected segment structure");
+  (* cap1 stayed idle the whole time *)
+  match segs.(1) with
+  | [ (0, 100, Trace.Idle) ] -> ()
+  | _ -> Alcotest.fail "cap1 should be one idle segment"
+
+let trace_utilisation () =
+  let t = Trace.create ~caps:2 in
+  Trace.set_state t ~time:0 ~cap:0 Trace.Running;
+  Trace.set_state t ~time:0 ~cap:1 Trace.Running;
+  Trace.set_state t ~time:50 ~cap:1 Trace.Idle;
+  Trace.finish t ~time:100;
+  check (Alcotest.float 1e-9) "utilisation 75%" 0.75 (Trace.utilisation t);
+  check (Alcotest.float 1e-9) "idle fraction 25%" 0.25
+    (Trace.state_fraction t Trace.Idle)
+
+let trace_counters () =
+  let t = Trace.create ~caps:1 in
+  Trace.incr t "sparks";
+  Trace.incr ~by:4 t "sparks";
+  check Alcotest.int "counter" 5 (Trace.counter t "sparks");
+  check Alcotest.int "missing counter" 0 (Trace.counter t "nope")
+
+let trace_redundant_transition () =
+  let t = Trace.create ~caps:1 in
+  Trace.set_state t ~time:0 ~cap:0 Trace.Running;
+  Trace.set_state t ~time:10 ~cap:0 Trace.Running;
+  check Alcotest.int "no duplicate entries" 1 (List.length (Trace.entries t))
+
+let render_timeline () =
+  let t = Trace.create ~caps:1 in
+  Trace.set_state t ~time:0 ~cap:0 Trace.Running;
+  Trace.set_state t ~time:50 ~cap:0 Trace.Idle;
+  Trace.finish t ~time:100;
+  let rows = Render.timeline_rows ~width:10 t in
+  check Alcotest.string "half running, half idle" "#####....." rows.(0);
+  let csv = Render.to_csv t in
+  check Alcotest.bool "csv has header" true
+    (String.length csv > 0 && String.sub csv 0 7 = "time_ns")
+
+(* ---------------- Machine ---------------- *)
+
+let machine_conversion () =
+  let m = Machine.intel8 in
+  check Alcotest.int "1 cycle at 1.86GHz rounds to 1ns" 1 (Machine.ns_of_cycles m 1);
+  check Alcotest.int "1.86e9 cycles = 1s" 1_000_000_000
+    (Machine.ns_of_cycles m 1_860_000_000);
+  let ns = Machine.ns_of_cycles m 1234567 in
+  let back = Machine.cycles_of_ns m ns in
+  check Alcotest.bool "roundtrip within rounding" true (abs (back - 1234567) < 5)
+
+let machine_penalty () =
+  let m = Machine.intel8 in
+  check (Alcotest.float 1e-9) "under cache: no penalty" 1.0
+    (Machine.mem_penalty m ~working_set:(1024 * 1024));
+  let p1 = Machine.mem_penalty m ~working_set:(8 * 1024 * 1024) in
+  let p2 = Machine.mem_penalty m ~working_set:(64 * 1024 * 1024) in
+  check Alcotest.bool "monotone" true (p1 > 1.0 && p2 > p1);
+  check Alcotest.bool "bounded" true (p2 < m.Machine.mem_penalty_max)
+
+let machine_with_cores () =
+  let m = Machine.with_cores Machine.amd16 4 in
+  check Alcotest.int "cores" 4 m.Machine.cores;
+  Alcotest.check_raises "bad cores"
+    (Invalid_argument "Machine.make: cores must be positive") (fun () ->
+      ignore (Machine.make ~name:"x" ~cores:0 ~clock_ghz:1.0 ()))
+
+let suite =
+  ( "sim",
+    [
+      test_case "engine time order" `Quick engine_order;
+      test_case "engine stable ties" `Quick engine_same_time_fifo;
+      test_case "engine nested scheduling" `Quick engine_nested_scheduling;
+      test_case "engine rejects past" `Quick engine_rejects_past;
+      test_case "engine run until / resume" `Quick engine_until;
+      test_case "engine stop" `Quick engine_stop;
+      test_case "engine horizon" `Quick engine_horizon;
+      test_case "trace segments" `Quick trace_segments;
+      test_case "trace utilisation" `Quick trace_utilisation;
+      test_case "trace counters" `Quick trace_counters;
+      test_case "trace dedup transitions" `Quick trace_redundant_transition;
+      test_case "render timeline + csv" `Quick render_timeline;
+      test_case "machine cycle conversion" `Quick machine_conversion;
+      test_case "machine memory penalty" `Quick machine_penalty;
+      test_case "machine with_cores" `Quick machine_with_cores;
+    ] )

@@ -1,0 +1,253 @@
+(** Tests for Repro_util: priority queue, RNG, stats, cost, tables,
+    list helpers. *)
+
+open Repro_util
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+(* ---------------- Prio_queue ---------------- *)
+
+let pq_basic () =
+  let q = Prio_queue.create () in
+  check Alcotest.bool "empty" true (Prio_queue.is_empty q);
+  Prio_queue.add q 5 "five";
+  Prio_queue.add q 1 "one";
+  Prio_queue.add q 3 "three";
+  check Alcotest.int "length" 3 (Prio_queue.length q);
+  check Alcotest.(option int) "min key" (Some 1) (Prio_queue.min_key q);
+  check Alcotest.(pair int string) "pop 1" (1, "one") (Prio_queue.pop q);
+  check Alcotest.(pair int string) "pop 3" (3, "three") (Prio_queue.pop q);
+  check Alcotest.(pair int string) "pop 5" (5, "five") (Prio_queue.pop q);
+  check Alcotest.bool "empty again" true (Prio_queue.is_empty q)
+
+let pq_stable_ties () =
+  let q = Prio_queue.create () in
+  List.iteri (fun i v -> Prio_queue.add q 7 (i, v)) [ "a"; "b"; "c"; "d" ];
+  let order = List.map snd (List.map snd (Prio_queue.drain q)) in
+  check Alcotest.(list string) "FIFO among equal keys" [ "a"; "b"; "c"; "d" ] order
+
+let pq_empty_pop () =
+  let q : int Prio_queue.t = Prio_queue.create () in
+  check Alcotest.bool "pop_opt none" true (Prio_queue.pop_opt q = None);
+  Alcotest.check_raises "pop raises" Prio_queue.Empty (fun () ->
+      ignore (Prio_queue.pop q))
+
+let pq_qcheck_sorted =
+  QCheck.Test.make ~name:"prio_queue drains in sorted stable order" ~count:300
+    QCheck.(list (pair small_nat small_nat))
+    (fun pairs ->
+      let q = Prio_queue.create () in
+      List.iter (fun (k, v) -> Prio_queue.add q k v) pairs;
+      let drained = List.map fst (Prio_queue.drain q) in
+      drained = List.sort compare drained
+      && List.length drained = List.length pairs)
+
+(* Interleaved adds and pops: every pop must return the minimum of the
+   keys currently in the queue (tracked by a reference multiset). *)
+let pq_qcheck_interleaved =
+  QCheck.Test.make ~name:"prio_queue pop always returns the current minimum"
+    ~count:200
+    QCheck.(list (option small_nat))
+    (fun ops ->
+      let q = Prio_queue.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some k ->
+              Prio_queue.add q k k;
+              model := k :: !model
+          | None -> (
+              match (Prio_queue.pop_opt q, !model) with
+              | None, [] -> ()
+              | None, _ :: _ | Some _, [] -> ok := false
+              | Some (k, _), keys ->
+                  let min_key = List.fold_left min max_int keys in
+                  if k <> min_key then ok := false;
+                  (* remove one occurrence of min_key *)
+                  let removed = ref false in
+                  model :=
+                    List.filter
+                      (fun x ->
+                        if x = min_key && not !removed then begin
+                          removed := true;
+                          false
+                        end
+                        else true)
+                      keys))
+        ops;
+      !ok && Prio_queue.length q = List.length !model)
+
+(* ---------------- Rng ---------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.next_int a) (Rng.next_int b)
+  done
+
+let rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  for _ = 1 to 10_000 do
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "Rng.float out of bounds"
+  done
+
+let rng_uniformish () =
+  let r = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.fail "bucket count deviates by more than 20%")
+    buckets
+
+let rng_split_independent () =
+  let r = Rng.create 1 in
+  let a = Rng.split r and b = Rng.split r in
+  let xs = List.init 50 (fun _ -> Rng.next_int a) in
+  let ys = List.init 50 (fun _ -> Rng.next_int b) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+let rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_range r (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.fail "int_range out of bounds"
+  done;
+  check Alcotest.int "singleton range" 4 (Rng.int_range r 4 4)
+
+let rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let arr = Array.init 100 Fun.id in
+  Rng.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 100 Fun.id) sorted
+
+(* ---------------- Stats ---------------- *)
+
+let stats_basic () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min_value s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Stats.max_value s);
+  check (Alcotest.float 1e-6) "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let stats_qcheck_mean =
+  QCheck.Test.make ~name:"stats mean matches direct computation" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Stats.of_list xs in
+      let direct = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. direct) < 1e-6 *. (1.0 +. Float.abs direct))
+
+(* ---------------- Cost ---------------- *)
+
+let cost_arith () =
+  let a = Cost.make 100 ~alloc:10 and b = Cost.make 50 ~alloc:5 in
+  let s = Cost.add a b in
+  check Alcotest.int "cycles" 150 s.Cost.cycles;
+  check Alcotest.int "alloc" 15 s.Cost.alloc;
+  check Alcotest.bool "zero" true (Cost.is_zero Cost.zero);
+  let d = Cost.scale 3 b in
+  check Alcotest.int "scaled" 150 d.Cost.cycles;
+  Alcotest.check_raises "negative cycles" (Invalid_argument "Cost.make: negative cycles")
+    (fun () -> ignore (Cost.make (-1)))
+
+(* ---------------- Tablefmt ---------------- *)
+
+let table_render () =
+  let t = Tablefmt.create ~aligns:[ Tablefmt.Left; Tablefmt.Right ] [ "name"; "v" ] in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_row t [ "longer"; "22" ];
+  let s = Tablefmt.to_string t in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "contains header" true (contains s "name");
+  check Alcotest.bool "right-aligned value" true (contains s "|  1 |");
+  Alcotest.check_raises "bad row arity"
+    (Invalid_argument "Tablefmt.add_row: wrong number of columns") (fun () ->
+      Tablefmt.add_row t [ "only-one" ])
+
+(* ---------------- Listx ---------------- *)
+
+let listx_split () =
+  check Alcotest.(list (list int)) "split_into_n"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Listx.split_into_n 3 [ 1; 2; 3; 4; 5 ]);
+  check Alcotest.(list (list int)) "unshuffle"
+    [ [ 1; 4 ]; [ 2; 5 ]; [ 3 ] ]
+    (Listx.unshuffle 3 [ 1; 2; 3; 4; 5 ]);
+  check Alcotest.(list int) "shuffle . unshuffle = id" [ 1; 2; 3; 4; 5 ]
+    (Listx.shuffle (Listx.unshuffle 3 [ 1; 2; 3; 4; 5 ]))
+
+let listx_qcheck_roundtrip =
+  QCheck.Test.make ~name:"shuffle . unshuffle = id" ~count:300
+    QCheck.(pair (int_range 1 10) (small_list small_nat))
+    (fun (n, xs) -> Listx.shuffle (Listx.unshuffle n xs) = xs)
+
+let listx_qcheck_split_preserves =
+  QCheck.Test.make ~name:"split_into_n preserves content and count" ~count:300
+    QCheck.(pair (int_range 1 10) (small_list small_nat))
+    (fun (n, xs) ->
+      let pieces = Listx.split_into_n n xs in
+      List.length pieces = n && List.concat pieces = xs)
+
+let listx_group () =
+  check
+    Alcotest.(list (pair string (list int)))
+    "group_by_key"
+    [ ("a", [ 1; 3 ]); ("b", [ 2 ]) ]
+    (Listx.group_by_key [ ("a", 1); ("b", 2); ("a", 3) ])
+
+let listx_transpose () =
+  check Alcotest.(list (list int)) "transpose"
+    [ [ 1; 4 ]; [ 2; 5 ]; [ 3; 6 ] ]
+    (Listx.transpose [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ])
+
+let suite =
+  ( "util",
+    [
+      test_case "prio_queue basic" `Quick pq_basic;
+      test_case "prio_queue stable ties" `Quick pq_stable_ties;
+      test_case "prio_queue empty pop" `Quick pq_empty_pop;
+      QCheck_alcotest.to_alcotest pq_qcheck_sorted;
+      QCheck_alcotest.to_alcotest pq_qcheck_interleaved;
+      test_case "rng deterministic" `Quick rng_deterministic;
+      test_case "rng bounds" `Quick rng_bounds;
+      test_case "rng uniform-ish" `Quick rng_uniformish;
+      test_case "rng split independent" `Quick rng_split_independent;
+      test_case "rng int_range" `Quick rng_int_range;
+      test_case "rng shuffle permutes" `Quick rng_shuffle_permutes;
+      test_case "stats basic" `Quick stats_basic;
+      test_case "stats percentile" `Quick stats_percentile;
+      QCheck_alcotest.to_alcotest stats_qcheck_mean;
+      test_case "cost arithmetic" `Quick cost_arith;
+      test_case "table render" `Quick table_render;
+      test_case "listx split/unshuffle" `Quick listx_split;
+      QCheck_alcotest.to_alcotest listx_qcheck_roundtrip;
+      QCheck_alcotest.to_alcotest listx_qcheck_split_preserves;
+      test_case "listx group_by_key" `Quick listx_group;
+      test_case "listx transpose" `Quick listx_transpose;
+    ] )

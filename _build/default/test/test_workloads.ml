@@ -1,0 +1,244 @@
+(** Tests for the benchmark workloads: every parallel variant must
+    compute the same values as its sequential reference, under every
+    runtime configuration. *)
+
+module Rts = Repro_parrts.Rts
+module V = Repro_core.Versions
+module W = Repro_workloads
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+(* ---------------- Euler / sumEuler ---------------- *)
+
+let phi_agree () =
+  for k = 1 to 300 do
+    check Alcotest.int
+      (Printf.sprintf "phi %d" k)
+      (W.Euler.phi_naive k) (W.Euler.phi_fast k)
+  done
+
+let phi_known_values () =
+  List.iter
+    (fun (k, v) -> check Alcotest.int (Printf.sprintf "phi %d" k) v (W.Euler.phi_fast k))
+    [ (1, 1); (2, 1); (9, 6); (10, 4); (97, 96); (100, 40); (360, 96) ]
+
+let qcheck_phi_agree =
+  QCheck.Test.make ~name:"phi_fast == phi_naive" ~count:150
+    QCheck.(int_range 1 2000)
+    (fun k -> W.Euler.phi_fast k = W.Euler.phi_naive k)
+
+let phi_cost_grows () =
+  let c100 = W.Euler.phi_cost 100 and c1000 = W.Euler.phi_cost 1000 in
+  check Alcotest.bool "cost grows" true
+    (c1000.Repro_util.Cost.cycles > c100.Repro_util.Cost.cycles)
+
+let sumeuler_all_versions_agree () =
+  let n = 400 in
+  let expect = W.Euler.sum_euler_ref n in
+  List.iter
+    (fun (v : V.version) ->
+      let is_eden = Repro_parrts.Config.is_distributed v.config in
+      let got, _ =
+        Rts.run v.config (fun () ->
+            if is_eden then W.Sumeuler.eden ~n ()
+            else W.Sumeuler.gph ~n ())
+      in
+      check Alcotest.int v.label expect got)
+    (V.fig1_versions ~ncaps:4 ())
+
+let sumeuler_splits_agree () =
+  let n = 300 in
+  let expect = W.Euler.sum_euler_ref n in
+  let got_rr, _ =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+        W.Sumeuler.gph ~split:`Round_robin ~n ())
+  in
+  let got_c, _ =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+        W.Sumeuler.gph ~split:`Contiguous ~n ())
+  in
+  check Alcotest.int "round robin" expect got_rr;
+  check Alcotest.int "contiguous" expect got_c;
+  let got_e, _ =
+    Rts.run (V.eden ~npes:4 ()).config (fun () ->
+        W.Sumeuler.eden ~split:`Contiguous ~n ())
+  in
+  check Alcotest.int "eden contiguous" expect got_e
+
+(* ---------------- Matrix / matmul ---------------- *)
+
+let matrix_ref_identity () =
+  let n = 8 in
+  let id = W.Matrix.make n (fun i j -> if i = j then 1.0 else 0.0) in
+  let a = W.Matrix.random ~seed:3 n in
+  let prod = W.Matrix.mul_ref a id in
+  check (Alcotest.float 1e-9) "A * I = A" (W.Matrix.checksum a)
+    (W.Matrix.checksum prod)
+
+let matrix_block_equals_ref () =
+  let n = 20 in
+  let a = W.Matrix.random ~seed:1 n and b = W.Matrix.random ~seed:2 n in
+  let out = W.Matrix.zero n in
+  let bs = 7 in
+  let r0 = ref 0 in
+  while !r0 < n do
+    let c0 = ref 0 in
+    while !c0 < n do
+      W.Matrix.mul_block a b out ~r0:!r0 ~c0:!c0 ~bs;
+      c0 := !c0 + bs
+    done;
+    r0 := !r0 + bs
+  done;
+  let want = W.Matrix.checksum (W.Matrix.mul_ref a b) in
+  check Alcotest.bool "blocked == reference" true
+    (Float.abs (W.Matrix.checksum out -. want) < 1e-9 *. Float.abs want)
+
+let matrix_row_segment_equals_ref () =
+  let n = 12 in
+  let a = W.Matrix.random ~seed:5 n and b = W.Matrix.random ~seed:6 n in
+  let out = W.Matrix.zero n in
+  for i = 0 to n - 1 do
+    W.Matrix.mul_row_segment a b out ~i ~c0:0 ~cols:n
+  done;
+  let want = W.Matrix.checksum (W.Matrix.mul_ref a b) in
+  check Alcotest.bool "row segments == reference" true
+    (Float.abs (W.Matrix.checksum out -. want) < 1e-9 *. Float.abs want)
+
+(* matmul gph/cannon raise internally on mismatch in Real mode, so just
+   running them IS the check; we also compare the two against each
+   other. *)
+let matmul_variants_agree () =
+  let n = 48 in
+  let g, _ =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+        W.Matmul.gph ~payload:W.Matrix.Real ~n ~block:13 ())
+  in
+  let e, _ =
+    Rts.run (V.eden ~npes:5 ()).config (fun () ->
+        W.Matmul.eden_cannon ~payload:W.Matrix.Real ~n ~q:2 ())
+  in
+  check Alcotest.bool "gph == cannon" true (Float.abs (g -. e) < 1e-9 *. Float.abs g)
+
+let matmul_lazy_bh_still_correct () =
+  (* duplicate evaluation must never corrupt results *)
+  let n = 40 in
+  let v = V.gph_plain ~ncaps:4 () in
+  let g, _ =
+    Rts.run v.config (fun () -> W.Matmul.gph ~payload:W.Matrix.Real ~n ~block:9 ())
+  in
+  check Alcotest.bool "finite checksum" true (Float.is_finite g)
+
+let matmul_synthetic_runs () =
+  let _, report =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () ->
+        ignore (W.Matmul.gph ~payload:W.Matrix.Synthetic ~n:200 ()))
+  in
+  check Alcotest.bool "virtual time advanced" true
+    (report.Repro_parrts.Report.elapsed_ns > 0)
+
+let cannon_rejects_bad_grid () =
+  Alcotest.check_raises "q must divide n"
+    (Invalid_argument "Matmul.eden_cannon: q must divide n") (fun () ->
+      ignore
+        (Rts.run (V.eden ~npes:5 ()).config (fun () ->
+             W.Matmul.eden_cannon ~n:50 ~q:3 ())))
+
+(* ---------------- APSP ---------------- *)
+
+let apsp_reference_sanity () =
+  (* tiny graph with known shortest paths *)
+  let inf = infinity in
+  let adj =
+    [|
+      [| 0.; 1.; 4.; inf |];
+      [| inf; 0.; 2.; 5. |];
+      [| inf; inf; 0.; 1. |];
+      [| inf; inf; inf; 0. |];
+    |]
+  in
+  let d = W.Apsp.floyd_warshall adj in
+  check (Alcotest.float 1e-9) "0->2 via 1" 3.0 d.(0).(2);
+  check (Alcotest.float 1e-9) "0->3 via 1,2" 4.0 d.(0).(3);
+  check (Alcotest.float 1e-9) "unreachable" inf d.(3).(0)
+
+let apsp_variants_agree () =
+  let n = 60 in
+  let expect = W.Apsp.checksum (W.Apsp.floyd_warshall (W.Apsp.graph n)) in
+  let lazy_g, _ =
+    Rts.run (V.gph_steal ~ncaps:4 ()).config (fun () -> W.Apsp.gph ~n ())
+  in
+  let eager_g, _ =
+    Rts.run (V.with_eager (V.gph_steal ~ncaps:4 ())).config (fun () ->
+        W.Apsp.gph ~n ())
+  in
+  let eden_g, _ =
+    Rts.run (V.eden ~npes:4 ()).config (fun () -> W.Apsp.eden_ring ~n ())
+  in
+  check (Alcotest.float 1e-6) "lazy gph" expect lazy_g;
+  check (Alcotest.float 1e-6) "eager gph" expect eager_g;
+  check (Alcotest.float 1e-6) "eden ring" expect eden_g
+
+let apsp_ring_nprocs_variants () =
+  let n = 30 in
+  let expect = W.Apsp.checksum (W.Apsp.floyd_warshall (W.Apsp.graph n)) in
+  List.iter
+    (fun nprocs ->
+      let got, _ =
+        Rts.run (V.eden ~npes:6 ()).config (fun () ->
+            W.Apsp.eden_ring ~nprocs ~n ())
+      in
+      check (Alcotest.float 1e-6) (Printf.sprintf "ring of %d" nprocs) expect got)
+    [ 1; 2; 3; 5; 6 ]
+
+let qcheck_apsp_sizes =
+  QCheck.Test.make ~name:"apsp gph == floyd_warshall (random sizes/seeds)"
+    ~count:10
+    QCheck.(pair (int_range 4 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let expect = W.Apsp.checksum (W.Apsp.floyd_warshall (W.Apsp.graph ~seed n)) in
+      let got, _ =
+        Rts.run (V.with_eager (V.gph_steal ~ncaps:3 ())).config (fun () ->
+            W.Apsp.gph ~seed ~n ())
+      in
+      Float.abs (got -. expect) <= 1e-6 *. (1.0 +. Float.abs expect))
+
+let apsp_lazy_duplicates_eager_not () =
+  let n = 80 in
+  let _, lazy_rep =
+    Rts.run (V.gph_steal ~ncaps:8 ()).config (fun () -> ignore (W.Apsp.gph ~n ()))
+  in
+  let _, eager_rep =
+    Rts.run (V.with_eager (V.gph_steal ~ncaps:8 ())).config (fun () ->
+        ignore (W.Apsp.gph ~n ()))
+  in
+  check Alcotest.bool "lazy duplicates pivot work" true
+    (lazy_rep.Repro_parrts.Report.dup_work_entries > 0);
+  check Alcotest.int "eager never duplicates" 0
+    eager_rep.Repro_parrts.Report.dup_work_entries;
+  check Alcotest.bool "eager blocks instead" true
+    (eager_rep.Repro_parrts.Report.blocked_forces > 0)
+
+let suite =
+  ( "workloads",
+    [
+      test_case "phi fast == naive (1..300)" `Quick phi_agree;
+      test_case "phi known values" `Quick phi_known_values;
+      QCheck_alcotest.to_alcotest qcheck_phi_agree;
+      test_case "phi cost grows" `Quick phi_cost_grows;
+      test_case "sumEuler: all versions agree" `Quick sumeuler_all_versions_agree;
+      test_case "sumEuler: splits agree" `Quick sumeuler_splits_agree;
+      test_case "matrix: A*I = A" `Quick matrix_ref_identity;
+      test_case "matrix: blocked == ref" `Quick matrix_block_equals_ref;
+      test_case "matrix: row segments == ref" `Quick matrix_row_segment_equals_ref;
+      test_case "matmul: gph == cannon" `Quick matmul_variants_agree;
+      test_case "matmul: lazy BH correct" `Quick matmul_lazy_bh_still_correct;
+      test_case "matmul: synthetic payload" `Quick matmul_synthetic_runs;
+      test_case "cannon: rejects bad grid" `Quick cannon_rejects_bad_grid;
+      test_case "apsp: reference sanity" `Quick apsp_reference_sanity;
+      test_case "apsp: variants agree" `Quick apsp_variants_agree;
+      test_case "apsp: ring process counts" `Quick apsp_ring_nprocs_variants;
+      QCheck_alcotest.to_alcotest qcheck_apsp_sizes;
+      test_case "apsp: lazy duplicates, eager blocks" `Quick
+        apsp_lazy_duplicates_eager_not;
+    ] )
