@@ -36,7 +36,8 @@ let reproduce_fig1 () =
   let n = if quick then 6000 else 15000 in
   let r = E.Fig1.run ~n () in
   Repro_util.Tablefmt.print (E.Fig1.to_table r);
-  Printf.printf "row ordering as in the paper: %b\n" (E.Fig1.ordering_holds r)
+  Printf.printf "row ordering as in the paper: %b\n" (E.Fig1.ordering_holds r);
+  r
 
 let reproduce_fig2 () =
   hr "Fig. 2 — sumEuler traces (EdenTV-style timelines)";
@@ -77,6 +78,107 @@ let reproduce_fig5 () =
   print_string (E.Exp.render_speedup_plot r.series);
   Printf.printf "shapes as in the paper: %b\n" (E.Fig5.shapes_hold r);
   List.iter (fun s -> Printf.printf "  paper: %s\n" s) E.Paper.fig5_shapes
+
+(* ------------------------------------------------------------------ *)
+(* Part 1b: real execution vs. simulation                              *)
+(* ------------------------------------------------------------------ *)
+
+module Exec_workload = Repro_exec.Workload
+module Exec_harness = Repro_exec.Harness
+module Machine = Repro_machine.Machine
+
+(* Simulator prediction for the same workload shape: the paper's best
+   shared-heap configuration (work stealing + eager black-holing +
+   spark threads) swept over the same core ladder on the AMD 16-core
+   model.  Problem sizes are the paper's, not the real runs' — the
+   comparison is of curve {e shapes} (where each workload saturates),
+   not absolute times. *)
+let sim_series name ladder =
+  let version_at c =
+    Versions.with_eager
+      (Versions.gph_steal ~machine:(Machine.with_cores Machine.amd16 c) ~ncaps:c ())
+  in
+  let work ~ncaps:_ () =
+    match name with
+    | "sumeuler" ->
+        ignore (Repro_workloads.Sumeuler.gph ~n:(if quick then 3000 else 15000) ())
+    | "parfib" ->
+        ignore
+          (Repro_workloads.Parfib.gph
+             ~n:(if quick then 24 else 30)
+             ~threshold:(if quick then 14 else 20)
+             ())
+    | "matmul" ->
+        ignore (Repro_workloads.Matmul.gph ~n:(if quick then 240 else 500) ())
+    | "mandelbrot" ->
+        let d = if quick then 120 else 300 in
+        ignore (Repro_workloads.Mandelbrot.gph ~width:d ~height:d ())
+    | "apsp" -> ignore (Repro_workloads.Apsp.gph ~n:(if quick then 100 else 200) ())
+    | _ -> ()
+  in
+  E.Exp.series ~label:("sim " ^ name) ~core_counts:ladder ~version_at ~work
+
+let sim_vs_real () =
+  hr "Real execution (OCaml 5 domains, work-stealing executor) vs. simulation";
+  let hw = Domain.recommended_domain_count () in
+  let ladder = Exec_harness.core_counts_up_to (min hw 16) in
+  Printf.printf
+    "%d hardware core(s); measuring each workload at %s domain(s)\n" hw
+    (String.concat ", " (List.map string_of_int ladder));
+  let repeats = if quick then 2 else 3 in
+  let all_measurements =
+    List.concat_map
+      (fun (module W : Exec_workload.S) ->
+        let size = if quick then W.quick_size else W.default_size in
+        let ms = Exec_harness.sweep ~repeats ~cores_list:ladder ~size (module W) in
+        Printf.printf "\n-- %s, size %d (%s): measured wall clock --\n" W.name
+          size W.size_doc;
+        Repro_util.Tablefmt.print (Exec_harness.to_table ms);
+        let sim = sim_series W.name ladder in
+        let t =
+          Repro_util.Tablefmt.create
+            ~aligns:(Repro_util.Tablefmt.Left :: List.map (fun _ -> Repro_util.Tablefmt.Right) ladder)
+            ("speedup" :: List.map string_of_int ladder)
+        in
+        Repro_util.Tablefmt.add_row t
+          ("real (measured)"
+          :: List.map (fun (m : Exec_harness.measurement) -> Printf.sprintf "%.2f" m.speedup) ms);
+        Repro_util.Tablefmt.add_row t
+          ("sim (predicted)"
+          :: List.map (fun s -> Printf.sprintf "%.2f" s) sim.E.Exp.speedups);
+        Repro_util.Tablefmt.print t;
+        ms)
+      Exec_workload.all
+  in
+  Repro_util.Json_out.to_file "BENCH_exec.json"
+    (Exec_harness.json_document all_measurements);
+  Printf.printf "\nwrote BENCH_exec.json (%d measurements)\n"
+    (List.length all_measurements)
+
+(* Machine-readable dump of the existing Fig. 1 reproduction numbers,
+   next to the paper's reported seconds. *)
+let dump_fig1_json (r : E.Fig1.result) =
+  let rows =
+    List.map2
+      (fun (row : E.Exp.row) (paper_label, paper_s) ->
+        Repro_util.Json_out.Obj
+          [
+            ("version", Repro_util.Json_out.Str row.E.Exp.label);
+            ("paper_version", Repro_util.Json_out.Str paper_label);
+            ("simulated_s", Repro_util.Json_out.Float row.E.Exp.elapsed_s);
+            ("paper_s", Repro_util.Json_out.Float paper_s);
+          ])
+      r.rows E.Paper.fig1_runtimes_s
+  in
+  Repro_util.Json_out.to_file "BENCH_repro.json"
+    (Repro_util.Json_out.Obj
+       [
+         ("schema", Repro_util.Json_out.Str "repro/bench-repro/v1");
+         ("figure", Repro_util.Json_out.Str "fig1");
+         ("n", Repro_util.Json_out.Int r.n);
+         ("rows", Repro_util.Json_out.List rows);
+       ]);
+  Printf.printf "wrote BENCH_repro.json (%d rows)\n" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel                                                    *)
@@ -134,6 +236,22 @@ let bench_prio_queue =
            Repro_util.Prio_queue.add q (Repro_util.Rng.int rng 100000) ()
          done;
          while not (Repro_util.Prio_queue.is_empty q) do
+           ignore (Repro_util.Prio_queue.pop q)
+         done))
+
+(* Regression guard for the schedule/dispatch hot path: the event
+   queue is created once and reused via [clear], so this is fast only
+   while [clear] keeps the backing array allocated. *)
+let bench_prio_queue_reuse =
+  let q = Repro_util.Prio_queue.create () in
+  let rng = Repro_util.Rng.create 3 in
+  Test.make ~name:"substrate/prio-queue-clear-reuse-1k"
+    (Staged.stage (fun () ->
+         Repro_util.Prio_queue.clear q;
+         for _ = 1 to 1000 do
+           Repro_util.Prio_queue.add q (Repro_util.Rng.int rng 100000) ()
+         done;
+         for _ = 1 to 500 do
            ignore (Repro_util.Prio_queue.pop q)
          done))
 
@@ -229,6 +347,7 @@ let benchmark () =
       bench_fig5;
       bench_deque;
       bench_prio_queue;
+      bench_prio_queue_reuse;
       bench_engine;
       bench_rng;
       bench_rts_threads;
@@ -263,9 +382,11 @@ let () =
     "Reproduction harness: 'Comparing and Optimising Parallel Haskell \
      Implementations for Multicore Machines' (ICPP 2009)\n";
   if quick then Printf.printf "(quick mode: reduced sizes)\n";
-  reproduce_fig1 ();
+  let fig1 = reproduce_fig1 () in
+  dump_fig1_json fig1;
   reproduce_fig2 ();
   reproduce_fig3 ();
   reproduce_fig4 ();
   reproduce_fig5 ();
+  sim_vs_real ();
   benchmark ()

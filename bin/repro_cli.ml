@@ -231,6 +231,113 @@ let run_cmd =
       const run $ workload $ version $ ncaps $ size $ machine_arg $ trace_flag
       $ svg_file $ events_flag $ out_file)
 
+(* ---------------- exec: real multicore execution ---------------- *)
+
+let exec_cmd =
+  let module Workload = Repro_exec.Workload in
+  let module Harness = Repro_exec.Harness in
+  let workload =
+    let doc =
+      Printf.sprintf "Workload: %s." (String.concat ", " Workload.names)
+    in
+    let workload_conv =
+      Arg.enum (List.map (fun (module W : Workload.S) -> (W.name, (module W : Workload.S))) Workload.all)
+    in
+    Arg.(
+      value
+      & opt workload_conv (List.hd Workload.all)
+      & info [ "workload"; "w" ] ~doc ~docv:"WORKLOAD")
+  in
+  let cores =
+    let doc = "Number of domains (default: all hardware cores)." in
+    Arg.(value & opt (some int) None & info [ "cores"; "c" ] ~doc ~docv:"N")
+  in
+  let size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size"; "n" ] ~doc:"Problem size (workload-specific)." ~docv:"S")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat"; "r" ] ~doc:"Timed runs per core count." ~docv:"R")
+  in
+  let sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Measure at 1, 2, 4, ... up to $(b,--cores) domains (instead \
+                of just 1 and $(b,--cores)).")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write measurements as JSON to $(docv)."
+          ~docv:"FILE")
+  in
+  let run (module W : Workload.S) cores size repeat sweep_flag json_file quick
+      out =
+    let hw = Domain.recommended_domain_count () in
+    let cores = match cores with Some c -> max 1 c | None -> hw in
+    let size =
+      match size with
+      | Some s ->
+          if s < 0 then begin
+            Printf.eprintf "repro-cli: exec: --size must be >= 0 (got %d)\n" s;
+            exit 2
+          end;
+          s
+      | None -> if quick then W.quick_size else W.default_size
+    in
+    let cores_list =
+      if sweep_flag then Harness.core_counts_up_to cores
+      else if cores = 1 then [ 1 ]
+      else [ 1; cores ]
+    in
+    let reference = W.reference ~size in
+    let ms = Harness.sweep ~repeats:repeat ~cores_list ~size (module W) in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "real execution: %s, size %d (%s)\n%d hardware core(s), %d timed \
+          run(s) per point\n"
+         W.name size W.size_doc hw repeat);
+    Buffer.add_string buf (Repro_util.Tablefmt.to_string (Harness.to_table ms));
+    List.iter
+      (fun (m : Harness.measurement) ->
+        if m.result <> reference then
+          failwith
+            (Printf.sprintf
+               "%s at %d cores: result %d differs from sequential reference %d"
+               W.name m.cores m.result reference))
+      ms;
+    Buffer.add_string buf
+      (Printf.sprintf "result checksum %d matches the sequential reference\n"
+         reference);
+    (match List.rev ms with
+    | (last : Harness.measurement) :: _ :: _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "speedup at %d cores vs 1 core: %.2fx\n" last.cores
+             last.speedup)
+    | _ -> ());
+    (match json_file with
+    | Some path ->
+        Repro_util.Json_out.to_file path (Harness.json_document ms);
+        Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
+    | None -> ());
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Run a workload for real on OCaml 5 domains (work-stealing \
+          executor) and report measured wall-clock speedups")
+    Term.(
+      const run $ workload $ cores $ size $ repeat $ sweep_flag $ json_file
+      $ quick $ out_file)
+
 (* ---------------- all ---------------- *)
 
 let all_cmd =
@@ -259,6 +366,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "repro-cli" ~version:"1.0.0" ~doc)
-    [ fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; run_cmd; all_cmd ]
+    [ fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; run_cmd; exec_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

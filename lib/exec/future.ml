@@ -1,0 +1,85 @@
+(** Futures with eager-black-hole semantics on real domains.
+
+    A future is an [Atomic] state cell.  Whoever wants its value —
+    the worker that pops the spark, a thief that stole it, or the
+    parent thread forcing it — first CASes [Todo _ -> Running].  The
+    CAS is the hardware analogue of the paper's {e eager black-holing}
+    (Sec. IV-A.3): claiming is atomic with starting evaluation, so a
+    stolen spark is never evaluated twice and no duplicate work can
+    exist even transiently (the simulator's lazy-black-holing window
+    does not exist here at all).
+
+    A forcer that finds the cell [Running] does not block the OS
+    thread: it {e helps} — runs other pending sparks from the pool —
+    and falls back to [Domain.cpu_relax]/micro-sleep backoff when the
+    pool is dry, which keeps oversubscribed runs (more domains than
+    hardware threads) live. *)
+
+type 'a state =
+  | Todo of (unit -> 'a)
+  | Running
+  | Done of 'a
+  | Failed of exn
+
+type 'a t = 'a state Atomic.t
+
+let make f = Atomic.make (Todo f)
+let of_value v = Atomic.make (Done v)
+
+let is_done fut =
+  match Atomic.get fut with Done _ | Failed _ -> true | _ -> false
+
+(* Claim and evaluate if still unclaimed; no-op otherwise. *)
+let try_run fut =
+  match Atomic.get fut with
+  | Todo f as prev ->
+      if Atomic.compare_and_set fut prev Running then begin
+        match f () with
+        | v -> Atomic.set fut (Done v)
+        | exception e -> Atomic.set fut (Failed e)
+      end
+  | Running | Done _ | Failed _ -> ()
+
+(** Create a future and, when running inside a {!Pool}, push a runner
+    for it onto the current worker's deque.  Outside a pool the future
+    is simply deferred until forced (sequential semantics — exactly
+    GpH's "sparks may fizzle"). *)
+let spark f =
+  let fut = make f in
+  (match Pool.current () with
+  | Some ctx -> Pool.push ctx (fun () -> try_run fut)
+  | None -> ());
+  fut
+
+let rec wait_loop fut ctx idle =
+  match Atomic.get fut with
+  | Done v -> v
+  | Failed e -> raise e
+  | Todo _ ->
+      try_run fut;
+      wait_loop fut ctx idle
+  | Running ->
+      let idle =
+        match ctx with
+        | Some c when Pool.help c -> 0
+        | _ ->
+            Domain.cpu_relax ();
+            if idle > 512 then begin
+              (* Nothing to help with and the producer still runs:
+                 yield the OS timeslice so it can (matters when domains
+                 outnumber hardware threads). *)
+              Unix.sleepf 1e-4;
+              idle
+            end
+            else idle + 1
+      in
+      wait_loop fut ctx idle
+
+let force fut =
+  match Atomic.get fut with
+  | Done v -> v
+  | Failed e -> raise e
+  | _ -> wait_loop fut (Pool.current ()) 0
+
+let peek fut =
+  match Atomic.get fut with Done v -> Some v | _ -> None

@@ -1,0 +1,25 @@
+(** Futures with eager-black-hole claiming (an atomic
+    [Todo -> Running] CAS, the hardware analogue of paper
+    Sec. IV-A.3's eager black-holing): a spark is evaluated at most
+    once no matter how many workers pop, steal or force it.  Forcers
+    waiting on a [Running] future help run other sparks instead of
+    blocking. *)
+
+type 'a t
+
+(** A deferred computation; not yet visible to any pool. *)
+val make : (unit -> 'a) -> 'a t
+
+val of_value : 'a -> 'a t
+
+(** Create a future and advertise it on the current worker's deque
+    (when inside {!Pool.run}); outside a pool it simply defers until
+    forced. *)
+val spark : (unit -> 'a) -> 'a t
+
+(** Demand the value: evaluate it here if unclaimed, help the pool
+    while someone else computes it, re-raise if it failed. *)
+val force : 'a t -> 'a
+
+val is_done : 'a t -> bool
+val peek : 'a t -> 'a option

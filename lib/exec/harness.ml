@@ -1,0 +1,126 @@
+(** Wall-clock measurement harness for the real executor.
+
+    Where [lib/experiments] reports {e virtual} nanoseconds from the
+    simulator, this reports {e measured} nanoseconds from actual runs
+    on 1..N domains, in a shape ([measurement] rows, speedup curves,
+    JSON dumps) that can be placed directly next to the simulator's
+    Fig. 1 / Fig. 3 / Fig. 5 predictions. *)
+
+module Stats = Repro_util.Stats
+module Tablefmt = Repro_util.Tablefmt
+module Json = Repro_util.Json_out
+
+type measurement = {
+  workload : string;
+  size : int;
+  cores : int;
+  repeats : int;
+  mean_ns : float;
+  stddev_ns : float;
+  min_ns : float;
+  speedup : float;  (** vs the 1-core entry of the same sweep; 1.0 alone *)
+  result : int;  (** checksum; equal across core counts by construction *)
+}
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(** Run [W] at [cores] domains, [repeats] timed runs (after one
+    untimed warm-up), on a fresh pool.  Raises [Failure] if two
+    repeats disagree on the result checksum. *)
+let measure ?(repeats = 3) ~cores ~size (module W : Workload.S) =
+  let repeats = max 1 repeats in
+  Pool.with_pool ~cores (fun () ->
+      ignore (W.run ~size ());
+      (* warm-up *)
+      let stats = Stats.create () in
+      let result = ref 0 in
+      for i = 1 to repeats do
+        let t0 = now_ns () in
+        let r = W.run ~size () in
+        let dt = now_ns () -. t0 in
+        Stats.add stats dt;
+        if i = 1 then result := r
+        else if r <> !result then
+          failwith
+            (Printf.sprintf "%s: nondeterministic result at %d cores: %d <> %d"
+               W.name cores r !result)
+      done;
+      {
+        workload = W.name;
+        size;
+        cores;
+        repeats;
+        mean_ns = Stats.mean stats;
+        stddev_ns = Stats.stddev stats;
+        min_ns = Stats.min_value stats;
+        speedup = 1.0;
+        result = !result;
+      })
+
+(** Measure at every core count in [cores_list]; speedups are relative
+    to the first entry (conventionally 1). *)
+let sweep ?repeats ~cores_list ~size (module W : Workload.S) =
+  let ms = List.map (fun c -> measure ?repeats ~cores:c ~size (module W : Workload.S)) cores_list in
+  match ms with
+  | [] -> []
+  | base :: _ ->
+      List.map (fun m -> { m with speedup = base.mean_ns /. m.mean_ns }) ms
+
+(** 1, 2, 4, ..., up to and always including [n]. *)
+let core_counts_up_to n =
+  let n = max 1 n in
+  let rec go c acc = if c >= n then List.rev (n :: acc) else go (2 * c) (c :: acc) in
+  go 1 []
+
+let to_table (ms : measurement list) =
+  let t =
+    Tablefmt.create
+      ~aligns:
+        [
+          Tablefmt.Left;
+          Tablefmt.Right;
+          Tablefmt.Right;
+          Tablefmt.Right;
+          Tablefmt.Right;
+          Tablefmt.Right;
+        ]
+      [ "workload"; "cores"; "mean"; "stddev"; "speedup"; "efficiency" ]
+  in
+  List.iter
+    (fun m ->
+      Tablefmt.add_row t
+        [
+          m.workload;
+          string_of_int m.cores;
+          Printf.sprintf "%.2f ms" (m.mean_ns /. 1e6);
+          Printf.sprintf "%.2f ms" (m.stddev_ns /. 1e6);
+          Printf.sprintf "%.2fx" m.speedup;
+          Printf.sprintf "%.0f%%" (100.0 *. m.speedup /. float_of_int m.cores);
+        ])
+    ms;
+  t
+
+let json_of_measurement (m : measurement) : Json.t =
+  Json.Obj
+    [
+      ("workload", Json.Str m.workload);
+      ("size", Json.Int m.size);
+      ("cores", Json.Int m.cores);
+      ("repeats", Json.Int m.repeats);
+      ("mean_ns", Json.Float m.mean_ns);
+      ("stddev_ns", Json.Float m.stddev_ns);
+      ("min_ns", Json.Float m.min_ns);
+      ("speedup", Json.Float m.speedup);
+      ("result", Json.Int m.result);
+    ]
+
+(** The [BENCH_exec.json] document: environment header + one row per
+    (workload, core count). *)
+let json_document (ms : measurement list) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "repro/bench-exec/v1");
+      ("hardware_cores", Json.Int (Domain.recommended_domain_count ()));
+      ("ocaml", Json.Str Sys.ocaml_version);
+      ("measurements", Json.List (List.map json_of_measurement ms));
+    ]

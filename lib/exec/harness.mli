@@ -1,0 +1,43 @@
+(** Wall-clock measurement of executor workloads: per-core-count
+    timings, speedup sweeps, ASCII tables and the [BENCH_exec.json]
+    dump — the measured counterpart of the simulator's figure
+    harnesses. *)
+
+type measurement = {
+  workload : string;
+  size : int;
+  cores : int;
+  repeats : int;
+  mean_ns : float;
+  stddev_ns : float;
+  min_ns : float;
+  speedup : float;  (** vs the 1-core entry of the same sweep; 1.0 alone *)
+  result : int;
+}
+
+(** Monotonic-enough wall clock in nanoseconds. *)
+val now_ns : unit -> float
+
+(** Run the workload on a fresh [cores]-domain pool: one warm-up run
+    plus [repeats] (default 3) timed runs.
+    @raise Failure if two repeats disagree on the result checksum. *)
+val measure :
+  ?repeats:int -> cores:int -> size:int -> (module Workload.S) -> measurement
+
+(** Measure at each core count; speedups relative to the first
+    entry. *)
+val sweep :
+  ?repeats:int ->
+  cores_list:int list ->
+  size:int ->
+  (module Workload.S) ->
+  measurement list
+
+(** [1; 2; 4; ...; n] (n always included). *)
+val core_counts_up_to : int -> int list
+
+val to_table : measurement list -> Repro_util.Tablefmt.t
+val json_of_measurement : measurement -> Repro_util.Json_out.t
+
+(** Full [BENCH_exec.json] document (schema + environment + rows). *)
+val json_document : measurement list -> Repro_util.Json_out.t

@@ -1,0 +1,202 @@
+(** Real-hardware executor substrate: a pool of [Domain]s, one per
+    capability, each owning a Chase–Lev {!Repro_deque.Ws_deque} spark
+    pool.
+
+    This is the hardware counterpart of the simulated runtime in
+    [lib/parrts]: where the simulator *models* GHC capabilities on a
+    virtual clock, this pool *is* the paper's optimised shared-heap
+    configuration on OCaml 5 domains (domains ≈ capabilities; see
+    "Retrofitting Parallelism onto OCaml", PAPERS.md):
+
+    - each worker runs a dedicated spark-thread-style loop (the paper's
+      Sec. IV-C optimisation: drain sparks from a queue instead of
+      forking a thread per spark);
+    - work distribution is lock-free work stealing (Sec. IV-A.2): the
+      owner pushes/pops at its deque's bottom, idle workers steal from
+      a random victim's top with a single CAS;
+    - idle workers back off (bounded steal sweeps, [Domain.cpu_relax])
+      and finally park on a condition variable, so an idle pool burns
+      no CPU; any push wakes them.
+
+    Tasks are [unit -> unit] closures.  The layer above ({!Future},
+    {!Strategies}) puts only idempotent "run this future if still
+    unclaimed" closures in the deques, which is what makes stolen
+    sparks safe to run twice — the CAS on the future's state cell (an
+    eager black-hole) guarantees at most one evaluation. *)
+
+module Ws_deque = Repro_deque.Ws_deque
+module Rng = Repro_util.Rng
+
+type task = unit -> unit
+
+type worker = {
+  id : int;
+  deque : task Ws_deque.t;
+  rng : Rng.t;  (** victim selection; deterministically seeded per worker *)
+}
+
+type t = {
+  workers : worker array;
+  mutable domains : unit Domain.t list;  (* helper domains, workers 1.. *)
+  stop : bool Atomic.t;
+  sleepers : int Atomic.t;
+  lock : Mutex.t;
+  wake : Condition.t;
+}
+
+type ctx = t * worker
+
+(* The current domain's (pool, worker) binding.  Set for helper domains
+   at spawn, and for the caller's domain for the duration of [run]. *)
+let context_key : ctx option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get context_key
+let cores t = Array.length t.workers
+let ctx_pool ((t, _) : ctx) = t
+let ctx_id ((_, w) : ctx) = w.id
+
+let has_work t =
+  let n = Array.length t.workers in
+  let rec go i = i < n && (not (Ws_deque.is_empty t.workers.(i).deque) || go (i + 1)) in
+  go 0
+
+(* Wake parked workers after making work available (or on shutdown).
+   Reading [sleepers] after the push is safe against lost wakeups: the
+   parking worker increments [sleepers] *before* re-checking the deques,
+   and the final re-check happens under [lock] — the same lock this
+   broadcast takes — so either the pusher sees the sleeper, or the
+   sleeper sees the pushed task. *)
+let signal_work t =
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.lock;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock
+  end
+
+(* Owner-side push onto this worker's own deque. *)
+let push ((t, w) : ctx) task =
+  Ws_deque.push w.deque task;
+  signal_work t
+
+(* One randomised steal sweep: start at a random victim, visit every
+   other worker once. *)
+let steal_once t (w : worker) =
+  let n = Array.length t.workers in
+  if n <= 1 then None
+  else begin
+    let start = Rng.int w.rng n in
+    let rec go k =
+      if k >= n then None
+      else
+        let v = t.workers.((start + k) mod n) in
+        if v.id = w.id then go (k + 1)
+        else
+          match Ws_deque.steal v.deque with
+          | Some _ as r -> r
+          | None -> go (k + 1)
+    in
+    go 0
+  end
+
+let find_task t (w : worker) =
+  match Ws_deque.pop w.deque with
+  | Some _ as r -> r
+  | None ->
+      (* a few sweeps with a pause between them before reporting famine *)
+      let rec attempt i =
+        if i >= 4 then None
+        else
+          match steal_once t w with
+          | Some _ as r -> r
+          | None ->
+              Domain.cpu_relax ();
+              attempt (i + 1)
+      in
+      attempt 0
+
+(* Tasks from the future layer never raise (they capture exceptions in
+   the result cell), but keep helper domains alive no matter what goes
+   into a deque. *)
+let run_task task = try task () with _ -> ()
+
+(* Run one pending task if any is available.  Used both by the worker
+   loop and by forcers that help while waiting on a future. *)
+let help ((t, w) : ctx) =
+  match find_task t w with
+  | Some task ->
+      run_task task;
+      true
+  | None -> false
+
+let park t =
+  Atomic.incr t.sleepers;
+  Mutex.lock t.lock;
+  while not (Atomic.get t.stop) && not (has_work t) do
+    Condition.wait t.wake t.lock
+  done;
+  Mutex.unlock t.lock;
+  Atomic.decr t.sleepers
+
+let rec worker_loop t (w : worker) =
+  if not (Atomic.get t.stop) then begin
+    (match find_task t w with
+    | Some task -> run_task task
+    | None -> park t);
+    worker_loop t w
+  end
+
+let create ?cores:requested () =
+  let ncores =
+    match requested with
+    | Some c ->
+        if c < 1 then invalid_arg "Pool.create: cores must be >= 1";
+        c
+    | None -> Domain.recommended_domain_count ()
+  in
+  let master = Rng.create 0x9e3779b9 in
+  let workers =
+    Array.init ncores (fun id ->
+        { id; deque = Ws_deque.create (); rng = Rng.split master })
+  in
+  let t =
+    {
+      workers;
+      domains = [];
+      stop = Atomic.make false;
+      sleepers = Atomic.make 0;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+    }
+  in
+  t.domains <-
+    List.init (ncores - 1) (fun i ->
+        Domain.spawn (fun () ->
+            let w = t.workers.(i + 1) in
+            Domain.DLS.set context_key (Some (t, w));
+            worker_loop t w));
+  t
+
+let run t f =
+  let w0 = t.workers.(0) in
+  let saved = Domain.DLS.get context_key in
+  Domain.DLS.set context_key (Some (t, w0));
+  Fun.protect
+    ~finally:(fun () ->
+      (* Leftover deque entries are runners for futures that were
+         already forced (and hence claimed): discard them. *)
+      ignore (Ws_deque.drain w0.deque);
+      Domain.DLS.set context_key saved)
+    f
+
+let shutdown t =
+  Atomic.set t.stop true;
+  Mutex.lock t.lock;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?cores f =
+  let t = create ?cores () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t f)

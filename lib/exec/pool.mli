@@ -1,0 +1,54 @@
+(** Pool of OCaml 5 [Domain]s with per-worker Chase–Lev spark deques
+    and lock-free work stealing — the real-hardware counterpart of the
+    simulated capabilities in [lib/parrts] (paper Sec. IV-A.2 spark
+    pools + Sec. IV-C spark threads).
+
+    The calling domain becomes worker 0 for the duration of {!run};
+    [cores - 1] helper domains each run a spark-thread-style drain loop
+    with randomised stealing, exponential backoff and condition-variable
+    parking when the pool is idle. *)
+
+type t
+
+type task = unit -> unit
+
+(** A worker binding: the pool plus the deque owned by the current
+    domain.  Obtained via {!current} from inside {!run} or from a
+    helper domain. *)
+type ctx
+
+(** [create ?cores ()] spawns [cores - 1] helper domains (default
+    [Domain.recommended_domain_count ()]).
+    @raise Invalid_argument if [cores < 1]. *)
+val create : ?cores:int -> unit -> t
+
+(** Number of workers (including the caller's worker 0). *)
+val cores : t -> int
+
+(** [run t f] registers the calling domain as worker 0 and evaluates
+    [f ()].  Sparks created inside [f] are pushed to worker 0's deque
+    and stolen by the helpers.  Reentrant calls and concurrent [run]s
+    on the same pool are not supported. *)
+val run : t -> (unit -> 'a) -> 'a
+
+(** Stop and join the helper domains.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ?cores f]: {!create}, {!run}, always {!shutdown}. *)
+val with_pool : ?cores:int -> (unit -> 'a) -> 'a
+
+(** The current domain's binding, when inside a pool. *)
+val current : unit -> ctx option
+
+val ctx_pool : ctx -> t
+
+(** Worker id of the current binding (0 = caller). *)
+val ctx_id : ctx -> int
+
+(** Owner-side push of a task onto the current worker's deque; wakes
+    parked workers. *)
+val push : ctx -> task -> unit
+
+(** Run one pending task (own deque first, then steal); [false] when
+    no work was found.  Forcers call this to help while waiting. *)
+val help : ctx -> bool

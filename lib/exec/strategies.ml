@@ -1,0 +1,78 @@
+(** GpH-style evaluation strategies over real domains.
+
+    The user-facing combinators mirror [Repro_core.Gph]'s simulated
+    ones ([par]/[pseq]/[parList]/chunking), but here [par] really does
+    put a spark where another core can steal it.  All combinators are
+    no-ops degrading to left-to-right sequential evaluation when run
+    outside a {!Pool} (sparks fizzle), so workload code is oblivious
+    to the core count. *)
+
+module Listx = Repro_util.Listx
+
+(** [par f g]: spark [f], evaluate [g] here, then demand [f]'s value
+    (evaluating it in place if no worker picked it up). *)
+let par f g =
+  let fa = Future.spark f in
+  let b = g () in
+  let a = Future.force fa in
+  (a, b)
+
+(** Sequential composition: evaluate [f], then [g] on its result. *)
+let pseq f g =
+  let a = f () in
+  g a
+
+(** [par_list fs]: spark every element, then collect in order.  The
+    list is sparked in reverse so thieves (stealing FIFO from the top
+    of the deque) start from the far end while the owner forces from
+    the front — the two fronts meet once, the same tuning the
+    simulated sumEuler applies. *)
+let par_list fs =
+  let futs = List.rev (List.map Future.spark (List.rev fs)) in
+  List.map Future.force futs
+
+(** [par_map f xs]: [par_list] over [List.map]. *)
+let par_map f xs = par_list (List.map (fun x () -> f x) xs)
+
+(** [par_chunked ?split ~chunks f xs]: split [xs] into [chunks] pieces
+    ([`Contiguous] splitting or [`Round_robin] dealing — round-robin
+    balances workloads whose per-element cost grows along the list,
+    cf. sumEuler) and apply [f] to each piece in parallel. *)
+let par_chunked ?(split = `Contiguous) ~chunks f xs =
+  let chunks = max 1 chunks in
+  let pieces =
+    match split with
+    | `Contiguous -> Listx.split_into_n chunks xs
+    | `Round_robin -> Listx.unshuffle chunks xs
+  in
+  par_map f (List.filter (fun p -> p <> []) pieces)
+
+(** [par_range ~chunks lo hi f ~combine ~init]: fold [combine] over
+    [f lo'..hi'] evaluated on contiguous index sub-ranges in parallel.
+    Handy for array-shaped work (rows of a matrix or an image). *)
+let par_range ~chunks lo hi f ~combine ~init =
+  if hi < lo then init
+  else begin
+    let count = hi - lo + 1 in
+    let chunks = max 1 (min chunks count) in
+    let per = count / chunks and rem = count mod chunks in
+    let ranges =
+      List.init chunks (fun i ->
+          let extra = min i rem in
+          let start = lo + (i * per) + extra in
+          let len = per + if i < rem then 1 else 0 in
+          (start, start + len - 1))
+    in
+    par_map (fun (a, b) -> f a b) ranges |> List.fold_left combine init
+  end
+
+(** Number of workers available to the current computation (1 when
+    outside a pool) — for granularity decisions. *)
+let available_cores () =
+  match Pool.current () with
+  | Some ctx -> Pool.cores (Pool.ctx_pool ctx)
+  | None -> 1
+
+(** Default spark count for a list of [n] independent pieces: enough
+    chunks to balance (4 per core), capped by [n]. *)
+let default_chunks n = max 1 (min n (4 * available_cores ()))

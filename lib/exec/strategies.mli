@@ -1,0 +1,41 @@
+(** GpH-style strategies on real domains: the hardware analogues of
+    [Repro_core.Gph]'s simulated combinators.  Outside a {!Pool} every
+    combinator degrades to plain sequential evaluation. *)
+
+(** [par f g]: spark [f], run [g] here, join. *)
+val par : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+(** [pseq f g]: evaluate [f], then [g] on its result. *)
+val pseq : (unit -> 'a) -> ('a -> 'b) -> 'b
+
+(** Spark every thunk, collect results in list order. *)
+val par_list : (unit -> 'a) list -> 'a list
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+
+(** Split into [chunks] pieces and process the pieces in parallel.
+    Empty pieces are dropped. *)
+val par_chunked :
+  ?split:[ `Contiguous | `Round_robin ] ->
+  chunks:int ->
+  ('a list -> 'b) ->
+  'a list ->
+  'b list
+
+(** [par_range ~chunks lo hi f ~combine ~init]: evaluate
+    [f start stop] on contiguous sub-ranges of [lo..hi] in parallel
+    and fold the per-range results. *)
+val par_range :
+  chunks:int ->
+  int ->
+  int ->
+  (int -> int -> 'a) ->
+  combine:('b -> 'a -> 'b) ->
+  init:'b ->
+  'b
+
+(** Workers available here (1 outside a pool). *)
+val available_cores : unit -> int
+
+(** 4 sparks per available core, capped by the piece count. *)
+val default_chunks : int -> int

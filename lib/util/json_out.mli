@@ -1,0 +1,19 @@
+(** Minimal JSON emitter (output only, no dependencies) used for the
+    machine-readable benchmark dumps.  Non-finite floats are emitted as
+    [null] so the output always parses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render; [indent = 0] gives compact single-line output
+    (default: 2-space pretty printing). *)
+val to_string : ?indent:int -> t -> string
+
+(** Write to [path] with a trailing newline. *)
+val to_file : ?indent:int -> string -> t -> unit

@@ -17,8 +17,14 @@ let create () = { arr = [||]; size = 0; next_seq = 0 }
 let length q = q.size
 let is_empty q = q.size = 0
 
+(* A shared filler entry used to null out slots so cleared queues keep
+   their backing array (no regrowth from scratch on reuse) without
+   retaining the cleared keys/values.  The filler is never read: every
+   access is guarded by [q.size].  [Obj.magic] gives it every ['a]. *)
+let dummy_entry : Obj.t entry = { key = 0; seq = 0; value = Obj.repr () }
+
 let clear q =
-  q.arr <- [||];
+  if q.size > 0 then Array.fill q.arr 0 q.size (Obj.magic dummy_entry);
   q.size <- 0
 
 (* [lt a b] : does entry [a] order strictly before entry [b]? *)

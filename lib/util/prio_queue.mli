@@ -7,6 +7,10 @@ type 'a t
 val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Empty the queue but keep the allocated backing array (slots are
+    nulled out, not dropped), so a cleared queue reused in a hot loop
+    does not regrow from the initial capacity. *)
 val clear : 'a t -> unit
 
 (** [add q key v] inserts [v] with priority [key] (smaller pops

@@ -53,11 +53,11 @@ let deque_drain () =
   List.iter (Ws_deque.push q) [ 1; 2; 3 ];
   check Alcotest.(list int) "drain pops LIFO" [ 3; 2; 1 ] (Ws_deque.drain q)
 
-(* Model test: a random sequence of owner pushes/pops and steals must
-   behave like a reference double-ended queue. *)
+(* Model test: a random sequence of owner pushes/pops, steals and
+   drains must behave like a reference double-ended queue. *)
 let deque_qcheck_model =
   QCheck.Test.make ~name:"ws_deque matches reference deque model" ~count:500
-    QCheck.(list (int_range 0 2))
+    QCheck.(list (int_range 0 3))
     (fun ops ->
       let q = Ws_deque.create () in
       let model = ref ([] : int list) (* oldest first *) in
@@ -77,13 +77,17 @@ let deque_qcheck_model =
               | newest :: rest_rev ->
                   if got <> Some newest then ok := false;
                   model := List.rev rest_rev)
-          | _ -> (
+          | 2 -> (
               let got = Ws_deque.steal q in
               match !model with
               | [] -> if got <> None then ok := false
               | oldest :: rest ->
                   if got <> Some oldest then ok := false;
-                  model := rest))
+                  model := rest)
+          | _ ->
+              (* drain pops everything newest-first *)
+              if Ws_deque.drain q <> List.rev !model then ok := false;
+              model := [])
         ops;
       !ok && Ws_deque.size q = List.length !model)
 
@@ -136,6 +140,62 @@ let deque_domains_stress () =
   let total = !popped + Array.fold_left ( + ) 0 stolen in
   check Alcotest.int "every element consumed exactly once" n total
 
+(* Stronger race test, repeated: one owner pushing/popping against 3
+   stealer domains, with a per-element consumption count — asserting
+   not merely conservation of cardinality but that no element is lost
+   AND none is duplicated.  Repeated >= 20 times so the interleaving
+   space is actually explored. *)
+let deque_domains_race_repeated () =
+  let iterations = 20 in
+  let n = 2_000 in
+  let nstealers = 3 in
+  for _iter = 1 to iterations do
+    let q = Ws_deque.create () in
+    (* seen.(i) counts consumptions of element i, across all domains *)
+    let seen = Array.init n (fun _ -> Atomic.make 0) in
+    let consume i = Atomic.incr seen.(i) in
+    let stop = Atomic.make false in
+    let stealers =
+      List.init nstealers (fun _ ->
+          Domain.spawn (fun () ->
+              while not (Atomic.get stop) do
+                match Ws_deque.steal q with
+                | Some i -> consume i
+                | None -> Domain.cpu_relax ()
+              done;
+              let rec sweep () =
+                match Ws_deque.steal q with
+                | Some i ->
+                    consume i;
+                    sweep ()
+                | None -> ()
+              in
+              sweep ()))
+    in
+    for i = 0 to n - 1 do
+      Ws_deque.push q i;
+      if i land 3 = 0 then
+        match Ws_deque.pop q with Some j -> consume j | None -> ()
+    done;
+    let rec drain_own () =
+      match Ws_deque.pop q with
+      | Some j ->
+          consume j;
+          drain_own ()
+      | None -> ()
+    in
+    drain_own ();
+    Atomic.set stop true;
+    List.iter Domain.join stealers;
+    Array.iteri
+      (fun i c ->
+        let c = Atomic.get c in
+        if c <> 1 then
+          Alcotest.failf "iteration %d: element %d consumed %d times (lost=%b)"
+            _iter i c (c = 0))
+      seen
+  done
+
 (* ---------------- Spsc_queue ---------------- *)
 
 let fifo_order () =
@@ -173,6 +233,8 @@ let suite =
       test_case "drain" `Quick deque_drain;
       QCheck_alcotest.to_alcotest deque_qcheck_model;
       test_case "multi-domain stress" `Slow deque_domains_stress;
+      test_case "multi-domain race, exactly-once x20" `Slow
+        deque_domains_race_repeated;
       test_case "spsc fifo order" `Quick fifo_order;
       QCheck_alcotest.to_alcotest fifo_qcheck;
     ] )
