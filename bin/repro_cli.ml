@@ -277,8 +277,16 @@ let exec_cmd =
       & info [ "json" ] ~doc:"Write measurements as JSON to $(docv)."
           ~docv:"FILE")
   in
-  let run (module W : Workload.S) cores size repeat sweep_flag json_file quick
-      out =
+  let exec_events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "Also run once at $(b,--cores) domains and print the scheduler's \
+             event counters (sparks created/run/fizzled, steals, parking).")
+  in
+  let run (module W : Workload.S) cores size repeat sweep_flag json_file
+      exec_events quick out =
     let hw = Domain.recommended_domain_count () in
     let cores = match cores with Some c -> max 1 c | None -> hw in
     let size =
@@ -327,6 +335,17 @@ let exec_cmd =
         Repro_util.Json_out.to_file path (Harness.json_document ms);
         Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
     | None -> ());
+    if exec_events then begin
+      let module Pool = Repro_exec.Pool in
+      let p = Pool.create ~cores () in
+      let v = Pool.run p (fun () -> W.run ~size ()) in
+      Pool.shutdown p;
+      if v <> reference then
+        failwith "events run: result differs from sequential reference";
+      Buffer.add_string buf
+        (Format.asprintf "scheduler events at %d domain(s):@\n%a@\n" cores
+           Pool.pp_events (Pool.events p))
+    end;
     emit out (Buffer.contents buf)
   in
   Cmd.v
@@ -336,7 +355,86 @@ let exec_cmd =
           executor) and report measured wall-clock speedups")
     Term.(
       const run $ workload $ cores $ size $ repeat $ sweep_flag $ json_file
-      $ quick $ out_file)
+      $ exec_events $ quick $ out_file)
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let module P = Repro_check.Protocols in
+  let module Sched = Repro_check.Sched in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the violating schedule of every caught mutant.")
+  in
+  let config_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ]
+          ~doc:"Run a single configuration by name (see the listing)."
+          ~docv:"NAME")
+  in
+  let run trace_flag config_name out =
+    let configs =
+      match config_name with
+      | None -> P.all
+      | Some n -> (
+          try [ P.find n ]
+          with Invalid_argument msg ->
+            Printf.eprintf
+              "repro-cli: %s\navailable: %s\n" msg
+              (String.concat ", " (List.map (fun c -> c.P.cname) P.all));
+            exit 2)
+    in
+    let buf = Buffer.create 4096 in
+    let ok = ref true in
+    Buffer.add_string buf
+      "DPOR model checking of the executor's lock-free protocols\n\
+       (every interleaving of each configuration, modulo commuting \
+       independent operations)\n\n";
+    List.iter
+      (fun c ->
+        let r = P.run c in
+        let verdict = P.verdict c r in
+        if not verdict then ok := false;
+        (match r with
+        | Sched.Pass s ->
+            Buffer.add_string buf
+              (Printf.sprintf "%-26s PASS    %6d interleavings %8d ops  depth %2d  %s%s\n"
+                 c.P.cname s.Sched.interleavings s.Sched.events
+                 s.Sched.max_depth c.P.descr
+                 (if verdict then "" else "  ** EXPECTED A VIOLATION **"))
+        | Sched.Fail v ->
+            Buffer.add_string buf
+              (Printf.sprintf "%-26s CAUGHT  after %d interleaving(s): %s%s\n"
+                 c.P.cname v.Sched.after_interleavings v.Sched.reason
+                 (if verdict then "" else "  ** EXPECTED PASS **"));
+            if trace_flag || not verdict then begin
+              Buffer.add_string buf "  offending schedule:\n";
+              List.iter
+                (fun e ->
+                  Buffer.add_string buf
+                    ("    " ^ Format.asprintf "%a" Repro_check.Event.pp e ^ "\n"))
+                v.Sched.trace
+            end))
+      configs;
+    Buffer.add_string buf
+      (if !ok then
+         "\nall configurations behaved as expected (protocols pass, mutants \
+          are caught)\n"
+       else "\nUNEXPECTED verdicts present\n");
+    emit out (Buffer.contents buf);
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check the executor's lock-free protocols \
+          (Chase-Lev deque, future claim CAS, pool parking) and confirm the \
+          seeded mutants are caught")
+    Term.(const run $ trace_flag $ config_name $ out_file)
 
 (* ---------------- all ---------------- *)
 
@@ -366,6 +464,16 @@ let main =
   in
   Cmd.group
     (Cmd.info "repro-cli" ~version:"1.0.0" ~doc)
-    [ fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; run_cmd; exec_cmd; all_cmd ]
+    [
+      fig1_cmd;
+      fig2_cmd;
+      fig3_cmd;
+      fig4_cmd;
+      fig5_cmd;
+      run_cmd;
+      exec_cmd;
+      check_cmd;
+      all_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,64 @@
+(** Recorded atomic-operation events.
+
+    The tracing shim ({!Sched.Atomic}) appends one event per
+    load/store/CAS/fetch-and-add it executes, tagged with the simulated
+    thread that performed it and the location (cell) it touched.  The
+    DPOR scheduler uses the (location, access-class) pair to decide
+    which operations are dependent; the {!Race} detector replays the
+    whole list through vector clocks. *)
+
+type kind =
+  | Make  (** cell creation (an initialising write) *)
+  | Get
+  | Set
+  | Exchange
+  | Cas of bool  (** compare-and-set; [true] = it took effect *)
+  | Fetch_add
+  | Wake  (** a blocked thread resumed; touches no location *)
+
+(** How a [kind] acts on memory, for dependency and happens-before
+    purposes.  A failed CAS only observed the cell: it is a read. *)
+type access = Read | Write | Rmw
+
+let access_of_kind = function
+  | Make | Set -> Write
+  | Get | Cas false -> Read
+  | Exchange | Cas true | Fetch_add -> Rmw
+  | Wake -> Read
+
+let kind_label = function
+  | Make -> "make"
+  | Get -> "get"
+  | Set -> "set"
+  | Exchange -> "exchange"
+  | Cas true -> "cas(ok)"
+  | Cas false -> "cas(fail)"
+  | Fetch_add -> "fetch&add"
+  | Wake -> "wake"
+
+type t = {
+  step : int;  (** scheduler step at which the op executed *)
+  thread : int;  (** simulated thread id; -1 = scenario setup, -2 = final check *)
+  thread_name : string;
+  loc : int;  (** unique cell id; -1 for {!Wake} *)
+  loc_name : string;
+  kind : kind;
+  repr : string;  (** human-readable op summary, values included when known *)
+}
+
+(** Two events are dependent iff they touch the same location and at
+    least one writes it — the commutativity criterion DPOR reduces by. *)
+let dependent a b =
+  a.loc >= 0 && a.loc = b.loc
+  && not (access_of_kind a.kind = Read && access_of_kind b.kind = Read)
+
+let pp ppf e =
+  if e.loc >= 0 then
+    Format.fprintf ppf "[%3d] %-10s %-10s %s" e.step e.thread_name e.loc_name
+      e.repr
+  else Format.fprintf ppf "[%3d] %-10s %s" e.step e.thread_name e.repr
+
+let pp_trace ppf (events : t list) =
+  List.iter (fun e -> Format.fprintf ppf "%a@\n" pp e) events
+
+let to_string_trace events = Format.asprintf "%a" pp_trace events

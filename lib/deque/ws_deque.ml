@@ -17,104 +17,123 @@
     The circular array grows geometrically when full; old arrays are
     left for the GC (safe in OCaml — no manual reclamation problem).
 
-    The runtime simulator is single-threaded, but the structure is
-    implemented with real [Atomic] operations and is safe for genuine
-    multi-domain use; the test suite stresses it from multiple domains. *)
+    The structure is a functor over the {!Repro_shim.Tatomic.S} atomics
+    shim: the default instance below uses the zero-cost [Real] alias of
+    [Stdlib.Atomic] and is safe for genuine multi-domain use (the test
+    suite stresses it from multiple domains); [Repro_check] instantiates
+    it with a tracing shim and exhaustively model-checks the push/pop/
+    steal protocol with a DPOR scheduler. *)
 
-type 'a circular_array = {
-  log_size : int;
-  segment : 'a option Atomic.t array;
-}
+module type S = sig
+  type 'a t
 
-let ca_create log_size =
-  { log_size; segment = Array.init (1 lsl log_size) (fun _ -> Atomic.make None) }
+  val create : unit -> 'a t
+  val size : 'a t -> int
+  val is_empty : 'a t -> bool
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+  val drain : 'a t -> 'a list
+end
 
-let ca_size a = 1 lsl a.log_size
-let ca_get a i = Atomic.get a.segment.(i land (ca_size a - 1))
-let ca_put a i v = Atomic.set a.segment.(i land (ca_size a - 1)) v
-
-let ca_grow a ~bottom ~top =
-  let b = ca_create (a.log_size + 1) in
-  for i = top to bottom - 1 do
-    ca_put b i (ca_get a i)
-  done;
-  b
-
-type 'a t = {
-  top : int Atomic.t;
-  bottom : int Atomic.t;
-  active : 'a circular_array Atomic.t;
-}
-
-let create () =
-  {
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
-    active = Atomic.make (ca_create 4);
+module Make (A : Repro_shim.Tatomic.S) = struct
+  type 'a circular_array = {
+    log_size : int;
+    segment : 'a option A.t array;
   }
 
-(* Owner-side size estimate; exact when no concurrent operations. *)
-let size q =
-  let b = Atomic.get q.bottom and t = Atomic.get q.top in
-  max 0 (b - t)
+  let ca_create log_size =
+    { log_size; segment = Array.init (1 lsl log_size) (fun _ -> A.make None) }
 
-let is_empty q = size q = 0
+  let ca_size a = 1 lsl a.log_size
+  let ca_get a i = A.get a.segment.(i land (ca_size a - 1))
+  let ca_put a i v = A.set a.segment.(i land (ca_size a - 1)) v
 
-(* Owner only. *)
-let push q v =
-  let b = Atomic.get q.bottom and t = Atomic.get q.top in
-  let a = Atomic.get q.active in
-  let a =
-    if b - t >= ca_size a - 1 then begin
-      let a' = ca_grow a ~bottom:b ~top:t in
-      Atomic.set q.active a';
-      a'
+  let ca_grow a ~bottom ~top =
+    let b = ca_create (a.log_size + 1) in
+    for i = top to bottom - 1 do
+      ca_put b i (ca_get a i)
+    done;
+    b
+
+  type 'a t = {
+    top : int A.t;
+    bottom : int A.t;
+    active : 'a circular_array A.t;
+  }
+
+  let create () =
+    {
+      top = A.make 0;
+      bottom = A.make 0;
+      active = A.make (ca_create 4);
+    }
+
+  (* Owner-side size estimate; exact when no concurrent operations. *)
+  let size q =
+    let b = A.get q.bottom and t = A.get q.top in
+    max 0 (b - t)
+
+  let is_empty q = size q = 0
+
+  (* Owner only. *)
+  let push q v =
+    let b = A.get q.bottom and t = A.get q.top in
+    let a = A.get q.active in
+    let a =
+      if b - t >= ca_size a - 1 then begin
+        let a' = ca_grow a ~bottom:b ~top:t in
+        A.set q.active a';
+        a'
+      end
+      else a
+    in
+    ca_put a b (Some v);
+    A.set q.bottom (b + 1)
+
+  (* Owner only: LIFO pop from the bottom. *)
+  let pop q =
+    let b = A.get q.bottom - 1 in
+    let a = A.get q.active in
+    A.set q.bottom b;
+    let t = A.get q.top in
+    let sz = b - t in
+    if sz < 0 then begin
+      (* Deque was empty: restore bottom. *)
+      A.set q.bottom t;
+      None
     end
-    else a
-  in
-  ca_put a b (Some v);
-  Atomic.set q.bottom (b + 1)
-
-(* Owner only: LIFO pop from the bottom. *)
-let pop q =
-  let b = Atomic.get q.bottom - 1 in
-  let a = Atomic.get q.active in
-  Atomic.set q.bottom b;
-  let t = Atomic.get q.top in
-  let sz = b - t in
-  if sz < 0 then begin
-    (* Deque was empty: restore bottom. *)
-    Atomic.set q.bottom t;
-    None
-  end
-  else
-    let v = ca_get a b in
-    if sz > 0 then begin
-      ca_put a b None;
-      v
-    end
-    else begin
-      (* Last element: race against stealers for it. *)
-      let won = Atomic.compare_and_set q.top t (t + 1) in
-      Atomic.set q.bottom (t + 1);
-      if won then begin
+    else
+      let v = ca_get a b in
+      if sz > 0 then begin
         ca_put a b None;
         v
       end
-      else None
-    end
+      else begin
+        (* Last element: race against stealers for it. *)
+        let won = A.compare_and_set q.top t (t + 1) in
+        A.set q.bottom (t + 1);
+        if won then begin
+          ca_put a b None;
+          v
+        end
+        else None
+      end
 
-(* Any thread: FIFO steal from the top. *)
-let steal q =
-  let t = Atomic.get q.top in
-  let b = Atomic.get q.bottom in
-  if b - t <= 0 then None
-  else
-    let a = Atomic.get q.active in
-    let v = ca_get a t in
-    if Atomic.compare_and_set q.top t (t + 1) then v else None
+  (* Any thread: FIFO steal from the top. *)
+  let steal q =
+    let t = A.get q.top in
+    let b = A.get q.bottom in
+    if b - t <= 0 then None
+    else
+      let a = A.get q.active in
+      let v = ca_get a t in
+      if A.compare_and_set q.top t (t + 1) then v else None
 
-(* Owner only: drain everything (used when shutting a capability down). *)
-let drain q =
-  let rec go acc = match pop q with None -> List.rev acc | Some v -> go (v :: acc) in
-  go []
+  (* Owner only: drain everything (used when shutting a capability down). *)
+  let drain q =
+    let rec go acc = match pop q with None -> List.rev acc | Some v -> go (v :: acc) in
+    go []
+end
+
+include Make (Repro_shim.Tatomic.Real)

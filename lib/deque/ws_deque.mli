@@ -4,27 +4,37 @@
 
     The owner pushes and pops at the bottom (LIFO); thieves steal from
     the top (FIFO) with a single CAS.  Implemented over a growable
-    circular array of [Atomic] cells; safe for genuine multi-domain
-    use (and stress-tested from multiple domains). *)
+    circular array of atomic cells, functorised over the
+    {!Repro_shim.Tatomic.S} shim.  The toplevel instance is
+    [Make (Tatomic.Real)] — plain [Stdlib.Atomic], safe for genuine
+    multi-domain use (and stress-tested from multiple domains).
+    [Repro_check] instantiates {!Make} with a tracing shim to
+    model-check the protocol exhaustively. *)
 
-type 'a t
+module type S = sig
+  type 'a t
 
-val create : unit -> 'a t
+  val create : unit -> 'a t
 
-(** Owner-side size estimate; exact when quiescent. *)
-val size : 'a t -> int
+  (** Owner-side size estimate; exact when quiescent. *)
+  val size : 'a t -> int
 
-val is_empty : 'a t -> bool
+  val is_empty : 'a t -> bool
 
-(** Owner only. *)
-val push : 'a t -> 'a -> unit
+  (** Owner only. *)
+  val push : 'a t -> 'a -> unit
 
-(** Owner only: LIFO pop from the bottom. *)
-val pop : 'a t -> 'a option
+  (** Owner only: LIFO pop from the bottom. *)
+  val pop : 'a t -> 'a option
 
-(** Any thread: FIFO steal from the top.  [None] when empty or when a
-    concurrent operation won the race. *)
-val steal : 'a t -> 'a option
+  (** Any thread: FIFO steal from the top.  [None] when empty or when a
+      concurrent operation won the race. *)
+  val steal : 'a t -> 'a option
 
-(** Owner only: remove everything (pop order). *)
-val drain : 'a t -> 'a list
+  (** Owner only: remove everything (pop order). *)
+  val drain : 'a t -> 'a list
+end
+
+module Make (A : Repro_shim.Tatomic.S) : S
+
+include S

@@ -1,6 +1,6 @@
 (** Futures with eager-black-hole semantics on real domains.
 
-    A future is an [Atomic] state cell.  Whoever wants its value —
+    A future is an atomic state cell.  Whoever wants its value —
     the worker that pops the spark, a thief that stole it, or the
     parent thread forcing it — first CASes [Todo _ -> Running].  The
     CAS is the hardware analogue of the paper's {e eager black-holing}
@@ -13,73 +13,135 @@
     thread: it {e helps} — runs other pending sparks from the pool —
     and falls back to [Domain.cpu_relax]/micro-sleep backoff when the
     pool is dry, which keeps oversubscribed runs (more domains than
-    hardware threads) live. *)
+    hardware threads) live.
 
-type 'a state =
-  | Todo of (unit -> 'a)
-  | Running
-  | Done of 'a
-  | Failed of exn
+    The module is a functor over the {!Repro_shim.Tatomic.S} atomics
+    shim and a {!POOL_BACKEND} (the executor the futures advertise
+    their sparks to).  The toplevel instance pairs the zero-cost [Real]
+    shim with {!Pool}; [lib/check] pairs the tracing shim with a
+    deterministic model pool and model-checks the claim protocol —
+    including the lazy-black-holing mutant this CAS exists to rule
+    out. *)
 
-type 'a t = 'a state Atomic.t
+(** What the future layer needs from an executor.  [idle_wait done_ n]
+    is called when a forcer found nothing to help with; it must pause
+    until [done_ ()] may have changed (real pools spin/sleep; the
+    model checker blocks the simulated thread on [done_]). *)
+module type POOL_BACKEND = sig
+  type ctx
 
-let make f = Atomic.make (Todo f)
-let of_value v = Atomic.make (Done v)
+  val current : unit -> ctx option
+  val push : ctx -> (unit -> unit) -> unit
+  val help : ctx -> bool
+  val note_run : ctx -> unit
+  val note_fizzle : ctx -> unit
+  val idle_wait : (unit -> bool) -> int -> int
+end
 
-let is_done fut =
-  match Atomic.get fut with Done _ | Failed _ -> true | _ -> false
+module type S = sig
+  type 'a t
 
-(* Claim and evaluate if still unclaimed; no-op otherwise. *)
-let try_run fut =
-  match Atomic.get fut with
-  | Todo f as prev ->
-      if Atomic.compare_and_set fut prev Running then begin
-        match f () with
-        | v -> Atomic.set fut (Done v)
-        | exception e -> Atomic.set fut (Failed e)
-      end
-  | Running | Done _ | Failed _ -> ()
+  val make : (unit -> 'a) -> 'a t
+  val of_value : 'a -> 'a t
+  val spark : (unit -> 'a) -> 'a t
+  val force : 'a t -> 'a
+  val is_done : 'a t -> bool
+  val peek : 'a t -> 'a option
+end
 
-(** Create a future and, when running inside a {!Pool}, push a runner
-    for it onto the current worker's deque.  Outside a pool the future
-    is simply deferred until forced (sequential semantics — exactly
-    GpH's "sparks may fizzle"). *)
-let spark f =
-  let fut = make f in
-  (match Pool.current () with
-  | Some ctx -> Pool.push ctx (fun () -> try_run fut)
-  | None -> ());
-  fut
+module Make (A : Repro_shim.Tatomic.S) (P : POOL_BACKEND) = struct
+  type 'a state =
+    | Todo of (unit -> 'a)
+    | Running
+    | Done of 'a
+    | Failed of exn
 
-let rec wait_loop fut ctx idle =
-  match Atomic.get fut with
-  | Done v -> v
-  | Failed e -> raise e
-  | Todo _ ->
-      try_run fut;
-      wait_loop fut ctx idle
-  | Running ->
-      let idle =
-        match ctx with
-        | Some c when Pool.help c -> 0
-        | _ ->
-            Domain.cpu_relax ();
-            if idle > 512 then begin
-              (* Nothing to help with and the producer still runs:
-                 yield the OS timeslice so it can (matters when domains
-                 outnumber hardware threads). *)
-              Unix.sleepf 1e-4;
-              idle
-            end
-            else idle + 1
-      in
-      wait_loop fut ctx idle
+  type 'a t = 'a state A.t
 
-let force fut =
-  match Atomic.get fut with
-  | Done v -> v
-  | Failed e -> raise e
-  | _ -> wait_loop fut (Pool.current ()) 0
+  let make f = A.make (Todo f)
+  let of_value v = A.make (Done v)
 
-let peek fut =
-  match Atomic.get fut with Done v -> Some v | _ -> None
+  let is_done fut =
+    match A.get fut with Done _ | Failed _ -> true | _ -> false
+
+  (* Claim and evaluate if still unclaimed; [true] iff this call
+     performed the evaluation. *)
+  let try_claim fut =
+    match A.get fut with
+    | Todo f as prev ->
+        if A.compare_and_set fut prev Running then begin
+          (match f () with
+          | v -> A.set fut (Done v)
+          | exception e -> A.set fut (Failed e));
+          true
+        end
+        else false
+    | Running | Done _ | Failed _ -> false
+
+  let try_run fut = ignore (try_claim fut)
+
+  (** Create a future and, when running inside a pool, push a runner
+      for it onto the current worker's deque.  Outside a pool the future
+      is simply deferred until forced (sequential semantics — exactly
+      GpH's "sparks may fizzle").  The runner reports run/fizzle to the
+      pool's spark ledger. *)
+  let spark f =
+    let fut = make f in
+    (match P.current () with
+    | Some ctx ->
+        P.push ctx (fun () ->
+            let did_run = try_claim fut in
+            match P.current () with
+            | Some c -> if did_run then P.note_run c else P.note_fizzle c
+            | None -> ())
+    | None -> ());
+    fut
+
+  let rec wait_loop fut ctx idle =
+    match A.get fut with
+    | Done v -> v
+    | Failed e -> raise e
+    | Todo _ ->
+        try_run fut;
+        wait_loop fut ctx idle
+    | Running ->
+        let idle =
+          match ctx with
+          | Some c when P.help c -> 0
+          | _ -> P.idle_wait (fun () -> is_done fut) idle
+        in
+        wait_loop fut ctx idle
+
+  let force fut =
+    match A.get fut with
+    | Done v -> v
+    | Failed e -> raise e
+    | _ -> wait_loop fut (P.current ()) 0
+
+  let peek fut =
+    match A.get fut with Done v -> Some v | _ -> None
+end
+
+include
+  Make
+    (Repro_shim.Tatomic.Real)
+    (struct
+      type ctx = Pool.ctx
+
+      let current = Pool.current
+      let push = Pool.push
+      let help = Pool.help
+      let note_run = Pool.note_run
+      let note_fizzle = Pool.note_fizzle
+
+      let idle_wait _is_done idle =
+        Domain.cpu_relax ();
+        if idle > 512 then begin
+          (* Nothing to help with and the producer still runs: yield the
+             OS timeslice so it can (matters when domains outnumber
+             hardware threads). *)
+          Unix.sleepf 1e-4;
+          idle
+        end
+        else idle + 1
+    end)

@@ -22,181 +22,329 @@
     {!Strategies}) puts only idempotent "run this future if still
     unclaimed" closures in the deques, which is what makes stolen
     sparks safe to run twice — the CAS on the future's state cell (an
-    eager black-hole) guarantees at most one evaluation. *)
+    eager black-hole) guarantees at most one evaluation.
 
-module Ws_deque = Repro_deque.Ws_deque
+    The whole module is a functor over the {!Repro_shim.Tatomic.S}
+    atomics shim (default instance: the zero-cost [Real] alias), so
+    that [lib/check] can trace and model-check the same protocols the
+    production pool runs. *)
+
 module Rng = Repro_util.Rng
 
-type task = unit -> unit
-
-type worker = {
-  id : int;
-  deque : task Ws_deque.t;
-  rng : Rng.t;  (** victim selection; deterministically seeded per worker *)
+(** Aggregated per-pool scheduler counters (paper-style spark
+    accounting plus steal/park observability).  Exact once the pool is
+    quiescent — in particular after {!shutdown}; snapshots taken while
+    workers run may be mid-update.  The invariant the executor
+    maintains (asserted by the test suite) is
+    [sparks_created = sparks_run + sparks_fizzled] at shutdown. *)
+type events = {
+  sparks_created : int;  (** runner tasks pushed onto a deque *)
+  sparks_run : int;  (** runners that performed their future's evaluation *)
+  sparks_fizzled : int;
+      (** runners that found their future already claimed, plus runners
+          discarded undone when a deque was drained at shutdown *)
+  steal_attempts : int;  (** individual [Ws_deque.steal] calls *)
+  steals : int;  (** successful steals *)
+  parks : int;  (** times a worker gave up stealing and parked *)
+  wakeups : int;  (** broadcasts issued because a sleeper was present *)
 }
 
-type t = {
-  workers : worker array;
-  mutable domains : unit Domain.t list;  (* helper domains, workers 1.. *)
-  stop : bool Atomic.t;
-  sleepers : int Atomic.t;
-  lock : Mutex.t;
-  wake : Condition.t;
-}
+let pp_events ppf (e : events) =
+  Format.fprintf ppf
+    "sparks: created %d, run %d, fizzled %d (run+fizzled=created: %b)@\n\
+     steals: %d of %d attempts@\n\
+     parking: %d parks, %d wakeups"
+    e.sparks_created e.sparks_run e.sparks_fizzled
+    (e.sparks_run + e.sparks_fizzled = e.sparks_created)
+    e.steals e.steal_attempts e.parks e.wakeups
 
-type ctx = t * worker
+module type S = sig
+  type t
+  type task = unit -> unit
+  type ctx
 
-(* The current domain's (pool, worker) binding.  Set for helper domains
-   at spawn, and for the caller's domain for the duration of [run]. *)
-let context_key : ctx option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+  val create : ?cores:int -> unit -> t
+  val cores : t -> int
+  val run : t -> (unit -> 'a) -> 'a
+  val shutdown : t -> unit
+  val with_pool : ?cores:int -> (unit -> 'a) -> 'a
+  val current : unit -> ctx option
+  val ctx_pool : ctx -> t
+  val ctx_id : ctx -> int
+  val push : ctx -> task -> unit
+  val help : ctx -> bool
+  val note_run : ctx -> unit
+  val note_fizzle : ctx -> unit
+  val events : t -> events
+end
 
-let current () = Domain.DLS.get context_key
-let cores t = Array.length t.workers
-let ctx_pool ((t, _) : ctx) = t
-let ctx_id ((_, w) : ctx) = w.id
+module Make (A : Repro_shim.Tatomic.S) = struct
+  module Ws_deque = Repro_deque.Ws_deque.Make (A)
 
-let has_work t =
-  let n = Array.length t.workers in
-  let rec go i = i < n && (not (Ws_deque.is_empty t.workers.(i).deque) || go (i + 1)) in
-  go 0
+  type task = unit -> unit
 
-(* Wake parked workers after making work available (or on shutdown).
-   Reading [sleepers] after the push is safe against lost wakeups: the
-   parking worker increments [sleepers] *before* re-checking the deques,
-   and the final re-check happens under [lock] — the same lock this
-   broadcast takes — so either the pusher sees the sleeper, or the
-   sleeper sees the pushed task. *)
-let signal_work t =
-  if Atomic.get t.sleepers > 0 then begin
+  (* Per-worker counters: each cell is written by exactly one domain in
+     the steady state (the owner for pushes/steals/parks, the running
+     worker for run/fizzle notes), so the atomic increments are
+     uncontended; [events] sums them. *)
+  type counters = {
+    created : int A.t;
+    run : int A.t;
+    fizzled : int A.t;
+    steal_attempts : int A.t;
+    steals : int A.t;
+    parks : int A.t;
+    wakeups : int A.t;
+  }
+
+  let counters_create () =
+    {
+      created = A.make 0;
+      run = A.make 0;
+      fizzled = A.make 0;
+      steal_attempts = A.make 0;
+      steals = A.make 0;
+      parks = A.make 0;
+      wakeups = A.make 0;
+    }
+
+  type worker = {
+    id : int;
+    deque : task Ws_deque.t;
+    rng : Rng.t;  (** victim selection; deterministically seeded per worker *)
+    counters : counters;
+  }
+
+  type t = {
+    workers : worker array;
+    mutable domains : unit Domain.t list;  (* helper domains, workers 1.. *)
+    stop : bool A.t;
+    sleepers : int A.t;
+    wake_gen : int A.t;
+        (* Generation counter bumped (under no lock) before every
+           broadcast.  A parking worker snapshots it before its final
+           deque re-check; the wait predicate re-reads it, so a wakeup
+           issued between the re-check and [Condition.wait] can never be
+           lost even if the broadcast itself lands in that window. *)
+    lock : Mutex.t;
+    wake : Condition.t;
+  }
+
+  type ctx = t * worker
+
+  (* The current domain's (pool, worker) binding.  Set for helper domains
+     at spawn, and for the caller's domain for the duration of [run]. *)
+  let context_key : ctx option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let current () = Domain.DLS.get context_key
+  let cores t = Array.length t.workers
+  let ctx_pool ((t, _) : ctx) = t
+  let ctx_id ((_, w) : ctx) = w.id
+  let note_run ((_, w) : ctx) = A.incr w.counters.run
+  let note_fizzle ((_, w) : ctx) = A.incr w.counters.fizzled
+
+  let events t : events =
+    let sum f =
+      Array.fold_left (fun acc w -> acc + A.get (f w.counters)) 0 t.workers
+    in
+    {
+      sparks_created = sum (fun c -> c.created);
+      sparks_run = sum (fun c -> c.run);
+      sparks_fizzled = sum (fun c -> c.fizzled);
+      steal_attempts = sum (fun c -> c.steal_attempts);
+      steals = sum (fun c -> c.steals);
+      parks = sum (fun c -> c.parks);
+      wakeups = sum (fun c -> c.wakeups);
+    }
+
+  let has_work t =
+    let n = Array.length t.workers in
+    let rec go i = i < n && (not (Ws_deque.is_empty t.workers.(i).deque) || go (i + 1)) in
+    go 0
+
+  (* Wake parked workers after making work available (or on shutdown).
+     Reading [sleepers] after the push is safe against lost wakeups: the
+     parking worker increments [sleepers] *before* re-checking the
+     deques, so under OCaml's sequentially-consistent atomics either the
+     pusher sees the sleeper (and bumps [wake_gen] + broadcasts), or the
+     sleeper sees the pushed task on its re-check.  The [wake_gen] bump
+     additionally covers the window between the sleeper's re-check and
+     its [Condition.wait]: the wait predicate re-reads the generation,
+     so a broadcast delivered before the sleeper reaches [wait] still
+     terminates the wait.  [lib/check] model-checks this handshake
+     exhaustively (and shows the check-then-park variant without the
+     generation counter deadlocks). *)
+  let signal_work caller_counters t =
+    if A.get t.sleepers > 0 then begin
+      A.incr t.wake_gen;
+      A.incr caller_counters.wakeups;
+      Mutex.lock t.lock;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.lock
+    end
+
+  (* Owner-side push onto this worker's own deque. *)
+  let push ((t, w) : ctx) task =
+    Ws_deque.push w.deque task;
+    A.incr w.counters.created;
+    signal_work w.counters t
+
+  (* One randomised steal sweep: start at a random victim, visit every
+     other worker once. *)
+  let steal_once t (w : worker) =
+    let n = Array.length t.workers in
+    if n <= 1 then None
+    else begin
+      let start = Rng.int w.rng n in
+      let rec go k =
+        if k >= n then None
+        else
+          let v = t.workers.((start + k) mod n) in
+          if v.id = w.id then go (k + 1)
+          else begin
+            A.incr w.counters.steal_attempts;
+            match Ws_deque.steal v.deque with
+            | Some _ as r ->
+                A.incr w.counters.steals;
+                r
+            | None -> go (k + 1)
+          end
+      in
+      go 0
+    end
+
+  let find_task t (w : worker) =
+    match Ws_deque.pop w.deque with
+    | Some _ as r -> r
+    | None ->
+        (* a few sweeps with a pause between them before reporting famine *)
+        let rec attempt i =
+          if i >= 4 then None
+          else
+            match steal_once t w with
+            | Some _ as r -> r
+            | None ->
+                Domain.cpu_relax ();
+                attempt (i + 1)
+        in
+        attempt 0
+
+  (* Tasks from the future layer never raise (they capture exceptions in
+     the result cell), but keep helper domains alive no matter what goes
+     into a deque. *)
+  let run_task task = try task () with _ -> ()
+
+  (* Run one pending task if any is available.  Used both by the worker
+     loop and by forcers that help while waiting on a future. *)
+  let help ((t, w) : ctx) =
+    match find_task t w with
+    | Some task ->
+        run_task task;
+        true
+    | None -> false
+
+  let park t (w : worker) =
+    A.incr w.counters.parks;
+    A.incr t.sleepers;
+    let gen = A.get t.wake_gen in
+    (* Final re-check *after* announcing ourselves as a sleeper: either
+       the pusher saw [sleepers > 0] and will bump [wake_gen], or this
+       check sees its task. *)
+    if not (A.get t.stop) && not (has_work t) then begin
+      Mutex.lock t.lock;
+      while
+        (not (A.get t.stop))
+        && (not (has_work t))
+        && A.get t.wake_gen = gen
+      do
+        Condition.wait t.wake t.lock
+      done;
+      Mutex.unlock t.lock
+    end;
+    A.decr t.sleepers
+
+  let rec worker_loop t (w : worker) =
+    if not (A.get t.stop) then begin
+      (match find_task t w with
+      | Some task -> run_task task
+      | None -> park t w);
+      worker_loop t w
+    end
+
+  let create ?cores:requested () =
+    let ncores =
+      match requested with
+      | Some c ->
+          if c < 1 then invalid_arg "Pool.create: cores must be >= 1";
+          c
+      | None -> Domain.recommended_domain_count ()
+    in
+    let master = Rng.create 0x9e3779b9 in
+    let workers =
+      Array.init ncores (fun id ->
+          {
+            id;
+            deque = Ws_deque.create ();
+            rng = Rng.split master;
+            counters = counters_create ();
+          })
+    in
+    let t =
+      {
+        workers;
+        domains = [];
+        stop = A.make false;
+        sleepers = A.make 0;
+        wake_gen = A.make 0;
+        lock = Mutex.create ();
+        wake = Condition.create ();
+      }
+    in
+    t.domains <-
+      List.init (ncores - 1) (fun i ->
+          Domain.spawn (fun () ->
+              let w = t.workers.(i + 1) in
+              Domain.DLS.set context_key (Some (t, w));
+              worker_loop t w));
+    t
+
+  (* Discard a worker's leftover deque entries, accounting for them:
+     an unexecuted runner is a spark that fizzled (its future was, or
+     will be, evaluated in place by whoever forces it). *)
+  let discard_leftovers (w : worker) =
+    let leftover = List.length (Ws_deque.drain w.deque) in
+    if leftover > 0 then
+      ignore (A.fetch_and_add w.counters.fizzled leftover)
+
+  let run t f =
+    let w0 = t.workers.(0) in
+    let saved = Domain.DLS.get context_key in
+    Domain.DLS.set context_key (Some (t, w0));
+    Fun.protect
+      ~finally:(fun () ->
+        (* Leftover deque entries are runners for futures that were
+           already forced (and hence claimed): discard them. *)
+        discard_leftovers w0;
+        Domain.DLS.set context_key saved)
+      f
+
+  let shutdown t =
+    A.set t.stop true;
+    A.incr t.wake_gen;
     Mutex.lock t.lock;
     Condition.broadcast t.wake;
-    Mutex.unlock t.lock
-  end
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    (* Helpers are joined: any runner still sitting in a deque will
+       never execute — account it as fizzled so the spark ledger
+       balances ([sparks_created = sparks_run + sparks_fizzled]). *)
+    Array.iter discard_leftovers t.workers
 
-(* Owner-side push onto this worker's own deque. *)
-let push ((t, w) : ctx) task =
-  Ws_deque.push w.deque task;
-  signal_work t
+  let with_pool ?cores f =
+    let t = create ?cores () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t f)
+end
 
-(* One randomised steal sweep: start at a random victim, visit every
-   other worker once. *)
-let steal_once t (w : worker) =
-  let n = Array.length t.workers in
-  if n <= 1 then None
-  else begin
-    let start = Rng.int w.rng n in
-    let rec go k =
-      if k >= n then None
-      else
-        let v = t.workers.((start + k) mod n) in
-        if v.id = w.id then go (k + 1)
-        else
-          match Ws_deque.steal v.deque with
-          | Some _ as r -> r
-          | None -> go (k + 1)
-    in
-    go 0
-  end
-
-let find_task t (w : worker) =
-  match Ws_deque.pop w.deque with
-  | Some _ as r -> r
-  | None ->
-      (* a few sweeps with a pause between them before reporting famine *)
-      let rec attempt i =
-        if i >= 4 then None
-        else
-          match steal_once t w with
-          | Some _ as r -> r
-          | None ->
-              Domain.cpu_relax ();
-              attempt (i + 1)
-      in
-      attempt 0
-
-(* Tasks from the future layer never raise (they capture exceptions in
-   the result cell), but keep helper domains alive no matter what goes
-   into a deque. *)
-let run_task task = try task () with _ -> ()
-
-(* Run one pending task if any is available.  Used both by the worker
-   loop and by forcers that help while waiting on a future. *)
-let help ((t, w) : ctx) =
-  match find_task t w with
-  | Some task ->
-      run_task task;
-      true
-  | None -> false
-
-let park t =
-  Atomic.incr t.sleepers;
-  Mutex.lock t.lock;
-  while not (Atomic.get t.stop) && not (has_work t) do
-    Condition.wait t.wake t.lock
-  done;
-  Mutex.unlock t.lock;
-  Atomic.decr t.sleepers
-
-let rec worker_loop t (w : worker) =
-  if not (Atomic.get t.stop) then begin
-    (match find_task t w with
-    | Some task -> run_task task
-    | None -> park t);
-    worker_loop t w
-  end
-
-let create ?cores:requested () =
-  let ncores =
-    match requested with
-    | Some c ->
-        if c < 1 then invalid_arg "Pool.create: cores must be >= 1";
-        c
-    | None -> Domain.recommended_domain_count ()
-  in
-  let master = Rng.create 0x9e3779b9 in
-  let workers =
-    Array.init ncores (fun id ->
-        { id; deque = Ws_deque.create (); rng = Rng.split master })
-  in
-  let t =
-    {
-      workers;
-      domains = [];
-      stop = Atomic.make false;
-      sleepers = Atomic.make 0;
-      lock = Mutex.create ();
-      wake = Condition.create ();
-    }
-  in
-  t.domains <-
-    List.init (ncores - 1) (fun i ->
-        Domain.spawn (fun () ->
-            let w = t.workers.(i + 1) in
-            Domain.DLS.set context_key (Some (t, w));
-            worker_loop t w));
-  t
-
-let run t f =
-  let w0 = t.workers.(0) in
-  let saved = Domain.DLS.get context_key in
-  Domain.DLS.set context_key (Some (t, w0));
-  Fun.protect
-    ~finally:(fun () ->
-      (* Leftover deque entries are runners for futures that were
-         already forced (and hence claimed): discard them. *)
-      ignore (Ws_deque.drain w0.deque);
-      Domain.DLS.set context_key saved)
-    f
-
-let shutdown t =
-  Atomic.set t.stop true;
-  Mutex.lock t.lock;
-  Condition.broadcast t.wake;
-  Mutex.unlock t.lock;
-  List.iter Domain.join t.domains;
-  t.domains <- []
-
-let with_pool ?cores f =
-  let t = create ?cores () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t f)
+include Make (Repro_shim.Tatomic.Real)

@@ -6,49 +6,88 @@
     The calling domain becomes worker 0 for the duration of {!run};
     [cores - 1] helper domains each run a spark-thread-style drain loop
     with randomised stealing, exponential backoff and condition-variable
-    parking when the pool is idle. *)
+    parking when the pool is idle.  The park/unpark handshake uses a
+    generation counter so wakeups cannot be lost; [lib/check]
+    model-checks it exhaustively.
 
-type t
+    The module is a functor over the {!Repro_shim.Tatomic.S} atomics
+    shim; the toplevel instance is [Make (Tatomic.Real)] (zero-cost
+    [Stdlib.Atomic] alias). *)
 
-type task = unit -> unit
+(** Aggregated scheduler counters, mirroring the simulator's eventlog
+    summary: spark accounting (GpH "created / converted / fizzled")
+    plus steal and park observability.  Exact when the pool is
+    quiescent; after {!shutdown},
+    [sparks_created = sparks_run + sparks_fizzled]. *)
+type events = {
+  sparks_created : int;
+  sparks_run : int;
+  sparks_fizzled : int;
+  steal_attempts : int;
+  steals : int;
+  parks : int;
+  wakeups : int;
+}
 
-(** A worker binding: the pool plus the deque owned by the current
-    domain.  Obtained via {!current} from inside {!run} or from a
-    helper domain. *)
-type ctx
+val pp_events : Format.formatter -> events -> unit
 
-(** [create ?cores ()] spawns [cores - 1] helper domains (default
-    [Domain.recommended_domain_count ()]).
-    @raise Invalid_argument if [cores < 1]. *)
-val create : ?cores:int -> unit -> t
+module type S = sig
+  type t
 
-(** Number of workers (including the caller's worker 0). *)
-val cores : t -> int
+  type task = unit -> unit
 
-(** [run t f] registers the calling domain as worker 0 and evaluates
-    [f ()].  Sparks created inside [f] are pushed to worker 0's deque
-    and stolen by the helpers.  Reentrant calls and concurrent [run]s
-    on the same pool are not supported. *)
-val run : t -> (unit -> 'a) -> 'a
+  (** A worker binding: the pool plus the deque owned by the current
+      domain.  Obtained via {!current} from inside {!run} or from a
+      helper domain. *)
+  type ctx
 
-(** Stop and join the helper domains.  Idempotent. *)
-val shutdown : t -> unit
+  (** [create ?cores ()] spawns [cores - 1] helper domains (default
+      [Domain.recommended_domain_count ()]).
+      @raise Invalid_argument if [cores < 1]. *)
+  val create : ?cores:int -> unit -> t
 
-(** [with_pool ?cores f]: {!create}, {!run}, always {!shutdown}. *)
-val with_pool : ?cores:int -> (unit -> 'a) -> 'a
+  (** Number of workers (including the caller's worker 0). *)
+  val cores : t -> int
 
-(** The current domain's binding, when inside a pool. *)
-val current : unit -> ctx option
+  (** [run t f] registers the calling domain as worker 0 and evaluates
+      [f ()].  Sparks created inside [f] are pushed to worker 0's deque
+      and stolen by the helpers.  Reentrant calls and concurrent [run]s
+      on the same pool are not supported. *)
+  val run : t -> (unit -> 'a) -> 'a
 
-val ctx_pool : ctx -> t
+  (** Stop and join the helper domains; accounts still-queued runners
+      as fizzled sparks.  Idempotent. *)
+  val shutdown : t -> unit
 
-(** Worker id of the current binding (0 = caller). *)
-val ctx_id : ctx -> int
+  (** [with_pool ?cores f]: {!create}, {!run}, always {!shutdown}. *)
+  val with_pool : ?cores:int -> (unit -> 'a) -> 'a
 
-(** Owner-side push of a task onto the current worker's deque; wakes
-    parked workers. *)
-val push : ctx -> task -> unit
+  (** The current domain's binding, when inside a pool. *)
+  val current : unit -> ctx option
 
-(** Run one pending task (own deque first, then steal); [false] when
-    no work was found.  Forcers call this to help while waiting. *)
-val help : ctx -> bool
+  val ctx_pool : ctx -> t
+
+  (** Worker id of the current binding (0 = caller). *)
+  val ctx_id : ctx -> int
+
+  (** Owner-side push of a task onto the current worker's deque; wakes
+      parked workers. *)
+  val push : ctx -> task -> unit
+
+  (** Run one pending task (own deque first, then steal); [false] when
+      no work was found.  Forcers call this to help while waiting. *)
+  val help : ctx -> bool
+
+  (** Spark accounting hooks for the {!Future} layer: the runner that
+      performed (resp. skipped) its future's evaluation reports here. *)
+  val note_run : ctx -> unit
+
+  val note_fizzle : ctx -> unit
+
+  (** Counter snapshot (sum over workers).  Exact once quiescent. *)
+  val events : t -> events
+end
+
+module Make (A : Repro_shim.Tatomic.S) : S
+
+include S

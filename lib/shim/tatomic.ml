@@ -1,0 +1,43 @@
+(** The atomics shim every concurrent module in this repo is written
+    against ([TRACED_ATOMIC] in the issue tracker's terms).
+
+    Two implementations exist:
+
+    - {!Real}, below: a module {e alias} of [Stdlib.Atomic].  Because it
+      is an alias (not a sealed coercion), callers still see the
+      compiler primitives ([%atomic_load] etc.) and compile to exactly
+      the same machine code as writing [Atomic.get] directly — the
+      production path costs nothing.
+    - [Repro_check.Sched.Atomic]: a checking implementation that records
+      every load/store/CAS/fetch-and-add with its simulated thread id
+      and location, and yields to a DPOR model-checking scheduler at
+      every operation.
+
+    [Ws_deque], [Future] and [Pool] are functors over this signature;
+    their default instances are [Make (Tatomic.Real)].  The [@lint]
+    alias (see [tools/lint_atomics.ml]) rejects raw [Atomic.] usage
+    anywhere else in library code, so every atomic the executor
+    performs is checkable by [lib/check]. *)
+
+module type S = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+
+  (** Physical-equality compare-and-set, like [Stdlib.Atomic]. *)
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+(** Production implementation: a zero-cost module alias. *)
+module Real = Stdlib.Atomic
+
+(* Compile-time check that the alias satisfies the signature without
+   sealing it (sealing would hide the primitives). *)
+module _ : S = Real

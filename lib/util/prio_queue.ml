@@ -5,10 +5,14 @@
     runs fully deterministic: two events scheduled for the same instant
     fire in the order they were scheduled. *)
 
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Slots are [Free] or an inline-record entry: cleared queues keep
+   their backing array (no regrowth from scratch on reuse) without
+   retaining the cleared keys/values.  [Free] never appears below
+   [q.size]: every access is guarded by it. *)
+type 'a slot = Free | Entry of { key : int; seq : int; value : 'a }
 
 type 'a t = {
-  mutable arr : 'a entry array;
+  mutable arr : 'a slot array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -17,32 +21,29 @@ let create () = { arr = [||]; size = 0; next_seq = 0 }
 let length q = q.size
 let is_empty q = q.size = 0
 
-(* A shared filler entry used to null out slots so cleared queues keep
-   their backing array (no regrowth from scratch on reuse) without
-   retaining the cleared keys/values.  The filler is never read: every
-   access is guarded by [q.size].  [Obj.magic] gives it every ['a]. *)
-let dummy_entry : Obj.t entry = { key = 0; seq = 0; value = Obj.repr () }
-
 let clear q =
-  if q.size > 0 then Array.fill q.arr 0 q.size (Obj.magic dummy_entry);
+  if q.size > 0 then Array.fill q.arr 0 q.size Free;
   q.size <- 0
 
 (* [lt a b] : does entry [a] order strictly before entry [b]? *)
-let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let lt a b =
+  match (a, b) with
+  | Entry a, Entry b -> a.key < b.key || (a.key = b.key && a.seq < b.seq)
+  | _ -> assert false
 
-let grow q e =
+let grow q =
   let cap = Array.length q.arr in
   if q.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let narr = Array.make ncap e in
+    let narr = Array.make ncap Free in
     Array.blit q.arr 0 narr 0 q.size;
     q.arr <- narr
   end
 
 let add q key value =
-  let e = { key; seq = q.next_seq; value } in
+  let e = Entry { key; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  grow q e;
+  grow q;
   (* sift up *)
   let i = ref q.size in
   q.size <- q.size + 1;
@@ -57,19 +58,30 @@ let add q key value =
   done;
   q.arr.(!i) <- e
 
-let min_key q = if q.size = 0 then None else Some q.arr.(0).key
+let min_key q =
+  if q.size = 0 then None
+  else match q.arr.(0) with Entry e -> Some e.key | Free -> assert false
 
 let peek q =
-  if q.size = 0 then None else Some (q.arr.(0).key, q.arr.(0).value)
+  if q.size = 0 then None
+  else
+    match q.arr.(0) with
+    | Entry e -> Some (e.key, e.value)
+    | Free -> assert false
 
 exception Empty
 
 let pop q =
   if q.size = 0 then raise Empty;
-  let top = q.arr.(0) in
+  let top =
+    match q.arr.(0) with
+    | Entry e -> (e.key, e.value)
+    | Free -> assert false
+  in
   q.size <- q.size - 1;
   if q.size > 0 then begin
     let e = q.arr.(q.size) in
+    q.arr.(q.size) <- Free;
     (* sift down from the root *)
     let i = ref 0 in
     let continue = ref true in
@@ -89,8 +101,9 @@ let pop q =
       end
     done;
     q.arr.(!i) <- e
-  end;
-  (top.key, top.value)
+  end
+  else q.arr.(0) <- Free;
+  top
 
 let pop_opt q = if q.size = 0 then None else Some (pop q)
 

@@ -91,6 +91,68 @@ let deque_qcheck_model =
         ops;
       !ok && Ws_deque.size q = List.length !model)
 
+(* The single-threaded model above cannot see steal/pop races, so also
+   drive random owner operations against a real stealing domain: every
+   pushed value is consumed exactly once (owner pops + steals + nothing
+   left), and the stolen sequence is strictly increasing (steals take
+   from the FIFO top, which only moves forward). *)
+let deque_qcheck_concurrent_model =
+  QCheck.Test.make
+    ~name:"ws_deque random owner ops vs a real stealing domain" ~count:100
+    QCheck.(list (int_range 0 2))
+    (fun ops ->
+      let q = Ws_deque.create () in
+      let stop = Atomic.make false in
+      let stealer =
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              match Ws_deque.steal q with
+              | Some v -> acc := v :: !acc
+              | None -> Domain.cpu_relax ()
+            done;
+            let rec sweep () =
+              match Ws_deque.steal q with
+              | Some v ->
+                  acc := v :: !acc;
+                  sweep ()
+              | None -> ()
+            in
+            sweep ();
+            List.rev !acc)
+      in
+      let next = ref 0 in
+      let popped = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 | 1 ->
+              (* biased toward pushes so the stealer has something to race *)
+              incr next;
+              Ws_deque.push q !next
+          | _ -> (
+              match Ws_deque.pop q with
+              | Some v -> popped := v :: !popped
+              | None -> ()))
+        ops;
+      let rec drain_own () =
+        match Ws_deque.pop q with
+        | Some v ->
+            popped := v :: !popped;
+            drain_own ()
+        | None -> ()
+      in
+      drain_own ();
+      Atomic.set stop true;
+      let stolen = Domain.join stealer in
+      let consumed = List.sort compare (!popped @ stolen) in
+      let rec strictly_increasing = function
+        | a :: (b :: _ as t) -> a < b && strictly_increasing t
+        | _ -> true
+      in
+      consumed = List.init !next (fun i -> i + 1)
+      && strictly_increasing stolen)
+
 (* Concurrency stress: one owner domain pushing/popping, several
    stealer domains.  Every pushed element must be consumed exactly
    once. *)
@@ -232,6 +294,7 @@ let suite =
       test_case "grows beyond initial capacity" `Quick deque_grows;
       test_case "drain" `Quick deque_drain;
       QCheck_alcotest.to_alcotest deque_qcheck_model;
+      QCheck_alcotest.to_alcotest deque_qcheck_concurrent_model;
       test_case "multi-domain stress" `Slow deque_domains_stress;
       test_case "multi-domain race, exactly-once x20" `Slow
         deque_domains_race_repeated;

@@ -102,6 +102,88 @@ let pool_reusable_across_runs () =
         check Alcotest.int "run result" (6 * i) v
       done)
 
+(* ---------------- strategy edge cases ---------------- *)
+
+let par_chunked_edges () =
+  Pool.with_pool ~cores:2 (fun () ->
+      check
+        Alcotest.(list (list int))
+        "empty list -> no pieces" []
+        (S.par_chunked ~chunks:4 (fun p -> p) []);
+      let pieces = S.par_chunked ~chunks:10 (fun p -> p) [ 1; 2; 3 ] in
+      check Alcotest.bool "chunks > length: no empty pieces" true
+        (List.for_all (fun p -> p <> []) pieces);
+      check
+        Alcotest.(list int)
+        "chunks > length: coverage in order" [ 1; 2; 3 ] (List.concat pieces);
+      let xs = List.init 37 Fun.id in
+      let flat split =
+        List.concat (S.par_chunked ~split ~chunks:5 (fun p -> p) xs)
+      in
+      check Alcotest.(list int) "contiguous covers in order" xs (flat `Contiguous);
+      check
+        Alcotest.(list int)
+        "round-robin covers as a permutation" xs
+        (List.sort compare (flat `Round_robin));
+      let sum = List.fold_left ( + ) 0 in
+      check Alcotest.int "same totals under either split"
+        (sum (S.par_chunked ~split:`Contiguous ~chunks:5 sum xs))
+        (sum (S.par_chunked ~split:`Round_robin ~chunks:5 sum xs)))
+
+let exception_propagates_across_domains_repeated () =
+  (* Repeat with worker noise so the failing body is sometimes run by a
+     stealing domain and sometimes in place — both must surface the
+     exception at force, and a second force re-raises the cached one. *)
+  Pool.with_pool ~cores:4 (fun () ->
+      for i = 1 to 20 do
+        let noise = List.init 8 (fun j -> Future.spark (fun () -> j * i)) in
+        let bad =
+          Future.spark (fun () -> if i >= 0 then failwith "crash" else 0)
+        in
+        (match Future.force bad with
+        | _ -> Alcotest.fail "expected Failure"
+        | exception Failure msg -> check Alcotest.string "message" "crash" msg);
+        (match Future.force bad with
+        | _ -> Alcotest.fail "expected cached Failure"
+        | exception Failure _ -> ());
+        List.iteri
+          (fun j f -> check Alcotest.int "noise result" (j * i) (Future.force f))
+          noise
+      done)
+
+(* ---------------- scheduler observability counters ---------------- *)
+
+let events_ledger_balances () =
+  let p = Pool.create ~cores:3 () in
+  let xs = List.init 50 Fun.id in
+  let v =
+    Pool.run p (fun () ->
+        List.fold_left ( + ) 0 (S.par_map (fun x -> x * x) xs))
+  in
+  Pool.shutdown p;
+  let e = Pool.events p in
+  check Alcotest.int "result" (List.fold_left (fun a x -> a + (x * x)) 0 xs) v;
+  check Alcotest.int "one spark per element" 50 e.Pool.sparks_created;
+  check Alcotest.int "created = run + fizzled" e.Pool.sparks_created
+    (e.Pool.sparks_run + e.Pool.sparks_fizzled);
+  check Alcotest.bool "steals counted within attempts" true
+    (e.Pool.steals <= e.Pool.steal_attempts)
+
+let events_ledger_balances_after_many_runs () =
+  let p = Pool.create ~cores:4 () in
+  for _ = 1 to 5 do
+    ignore
+      (Pool.run p (fun () ->
+           S.par_range ~chunks:8 1 200
+             (fun lo hi -> hi - lo)
+             ~combine:( + ) ~init:0))
+  done;
+  Pool.shutdown p;
+  let e = Pool.events p in
+  check Alcotest.int "ledger balances over reuse" e.Pool.sparks_created
+    (e.Pool.sparks_run + e.Pool.sparks_fizzled);
+  check Alcotest.int "5 runs x 8 ranges" 40 e.Pool.sparks_created
+
 (* ---------------- workload determinism at 1/2/4 domains ---------------- *)
 
 let workload_deterministic (module W : Workload.S) () =
@@ -189,6 +271,13 @@ let suite =
       test_case "par_range covers and handles empty" `Quick par_range_covers;
       test_case "nested par" `Quick nested_par;
       test_case "pool reusable across runs" `Quick pool_reusable_across_runs;
+      test_case "par_chunked edge cases" `Quick par_chunked_edges;
+      test_case "exceptions propagate across domains x20" `Quick
+        exception_propagates_across_domains_repeated;
+      test_case "spark ledger: created = run + fizzled" `Quick
+        events_ledger_balances;
+      test_case "spark ledger balances across pool reuse" `Quick
+        events_ledger_balances_after_many_runs;
       test_case "matmul kernel = mul_ref bitwise" `Quick
         matmul_kernel_matches_mul_ref;
       test_case "apsp = floyd_warshall bitwise" `Quick apsp_matches_floyd_warshall;

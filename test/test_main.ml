@@ -6,6 +6,7 @@ let () =
       Test_util.suite;
       Test_deque.suite;
       Test_exec.suite;
+      Test_check.suite;
       Test_sim.suite;
       Test_heap.suite;
       Test_rts.suite;

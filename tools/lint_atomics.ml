@@ -1,0 +1,227 @@
+(* Atomics-discipline lint for the executor (wired as `dune build @lint`).
+
+   The concurrency correctness toolkit (lib/check) can only model-check
+   code whose atomic operations go through the Repro_shim.Tatomic shim —
+   a raw Stdlib.Atomic call is invisible to the DPOR scheduler and the
+   race detector.  This lint keeps the library and binaries honest:
+
+   - `Atomic.` (including `Stdlib.Atomic.`) is forbidden outside the
+     shim itself (lib/shim) and the checker (lib/check, whose tracing
+     cells ARE the instrumentation);
+   - `Obj.magic` is forbidden everywhere scanned — it defeats both the
+     type system and any hope of sound analysis;
+   - `ignore (Domain.spawn` is forbidden: a spawned-and-forgotten
+     domain can never be joined, so shutdown invariants (the spark
+     ledger, quiescent counters) become unenforceable.
+
+   Occurrences inside comments and string literals are ignored.  The
+   scanner is syntactic by design: it runs in milliseconds, needs no
+   compiler-libs, and the few legitimate uses live behind the allowlist
+   rather than behind per-site pragmas. *)
+
+let violations = ref 0
+
+let report file line msg =
+  incr violations;
+  Printf.eprintf "%s:%d: %s\n" file line msg
+
+(* Strip OCaml comments (nested, and quote-aware inside them is not
+   needed for our patterns) and string literals, preserving newlines so
+   reported line numbers stay exact.  Char literals like '"' are kept
+   verbatim: a double quote inside a char literal is always the three-
+   token form '"' and is recognised to avoid opening a bogus string. *)
+let strip_comments_and_strings (s : string) : string =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let keep c = Buffer.add_char buf (if c = '\n' then '\n' else ' ') in
+  let rec code i =
+    if i >= n then ()
+    else if i + 1 < n && s.[i] = '(' && s.[i + 1] = '*' then begin
+      keep ' ';
+      keep ' ';
+      comment 1 (i + 2)
+    end
+    else if s.[i] = '"' then begin
+      keep ' ';
+      string_lit (i + 1)
+    end
+    else if i + 2 < n && s.[i] = '\'' && s.[i + 1] = '"' && s.[i + 2] = '\''
+    then begin
+      (* the char literal '"' *)
+      Buffer.add_string buf "' '";
+      code (i + 3)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      code (i + 1)
+    end
+  and comment depth i =
+    if i >= n then ()
+    else if i + 1 < n && s.[i] = '(' && s.[i + 1] = '*' then begin
+      keep ' ';
+      keep ' ';
+      comment (depth + 1) (i + 2)
+    end
+    else if i + 1 < n && s.[i] = '*' && s.[i + 1] = ')' then begin
+      keep ' ';
+      keep ' ';
+      if depth = 1 then code (i + 2) else comment (depth - 1) (i + 2)
+    end
+    else begin
+      keep s.[i];
+      comment depth (i + 1)
+    end
+  and string_lit i =
+    if i >= n then ()
+    else if s.[i] = '\\' && i + 1 < n then begin
+      keep ' ';
+      keep ' ';
+      string_lit (i + 2)
+    end
+    else if s.[i] = '"' then begin
+      keep ' ';
+      code (i + 1)
+    end
+    else begin
+      keep s.[i];
+      string_lit (i + 1)
+    end
+  in
+  code 0;
+  Buffer.contents buf
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Find [needle] at a module-path boundary: the preceding character must
+   not be an identifier character or '.', so `Tatomic.get` and
+   `Sched.Atomic.get` don't trip the `Atomic.` rule, while a bare
+   `Atomic.get` and `Stdlib.Atomic.get` do (the latter via its own
+   `Atomic.` occurrence being preceded by '.', so we special-case the
+   `Stdlib.` prefix). *)
+let find_bare ~needle line =
+  let n = String.length line and m = String.length needle in
+  let prefixed_by p i =
+    let lp = String.length p in
+    i >= lp && String.sub line (i - lp) lp = p
+  in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = needle then
+      let bare =
+        i = 0
+        || (not (is_ident_char line.[i - 1]))
+           && (line.[i - 1] <> '.' || prefixed_by "Stdlib." i)
+      in
+      if bare then Some i else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Paths are compared with '/' separators; dune runs this from _build
+   with paths like ../lib/exec/pool.ml. *)
+let allowlisted path =
+  let has sub =
+    let n = String.length path and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub path i m = sub || go (i + 1)) in
+    go 0
+  in
+  has "lib/shim/" || has "lib/check/"
+
+let lint_file path =
+  let text = strip_comments_and_strings (read_file path) in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      if not (allowlisted path) then (
+        match find_bare ~needle:"Atomic." line with
+        | Some _ ->
+            report path lineno
+              "raw Atomic. use: go through the Repro_shim.Tatomic shim so \
+               lib/check can trace it"
+        | None -> ());
+      (match find_bare ~needle:"Obj.magic" line with
+      | Some _ -> report path lineno "Obj.magic defeats the type system"
+      | None -> ());
+      match find_bare ~needle:"ignore (Domain.spawn" line with
+      | Some _ ->
+          report path lineno
+            "discarded Domain.spawn handle: the domain can never be joined"
+      | None -> ())
+    lines
+
+let rec walk path =
+  if Sys.is_directory path then begin
+    let base = Filename.basename path in
+    if String.length base > 0 && base.[0] <> '.' && base <> "_build" then
+      Array.iter
+        (fun entry -> walk (Filename.concat path entry))
+        (Sys.readdir path)
+  end
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then lint_file path
+
+(* Self-test: the scanner must flag these shapes... *)
+let must_flag =
+  [
+    "let c = Atomic.make 0";
+    "let v = Stdlib.Atomic.get c";
+    "let x = Obj.magic y";
+    "ignore (Domain.spawn f)";
+    "(* ok *) Atomic.set c 1";
+  ]
+
+(* ...and must not flag these. *)
+let must_pass =
+  [
+    "let v = A.get c (* Atomic.get *)";
+    "let s = \"Atomic.make in a string\"";
+    "module A = Repro_shim.Tatomic.Real";
+    "let v = Sched.Atomic.get c";
+    "let t = Tatomic.name";
+    "let d = Domain.spawn f in Domain.join d";
+  ]
+
+let self_test () =
+  let scan snippet =
+    let t = strip_comments_and_strings snippet in
+    find_bare ~needle:"Atomic." t <> None
+    || find_bare ~needle:"Obj.magic" t <> None
+    || find_bare ~needle:"ignore (Domain.spawn" t <> None
+  in
+  List.iter
+    (fun s ->
+      if not (scan s) then begin
+        Printf.eprintf "lint self-test: should have flagged %S\n" s;
+        exit 2
+      end)
+    must_flag;
+  List.iter
+    (fun s ->
+      if scan s then begin
+        Printf.eprintf "lint self-test: should not have flagged %S\n" s;
+        exit 2
+      end)
+    must_pass
+
+let () =
+  self_test ();
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin" ] | _ :: r -> r
+  in
+  List.iter walk roots;
+  if !violations > 0 then begin
+    Printf.eprintf "lint: %d violation(s)\n" !violations;
+    exit 1
+  end
