@@ -357,6 +357,126 @@ let exec_cmd =
       const run $ workload $ cores $ size $ repeat $ sweep_flag $ json_file
       $ exec_events $ quick $ out_file)
 
+(* ---------------- analyze: static analysis ---------------- *)
+
+let analyze_cmd =
+  let module Rules = Repro_analysis.Rules in
+  let module Baseline = Repro_analysis.Baseline in
+  let module Engine = Repro_analysis.Engine in
+  let module Json = Repro_util.Json_out in
+  let roots =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Directories or .ml files to scan (default: lib bin).")
+  in
+  let rule_ids =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "rule" ]
+          ~doc:
+            (Printf.sprintf "Run only rule $(docv) (repeatable). Known: %s."
+               (String.concat ", " Repro_analysis.Rules.ids))
+          ~docv:"ID")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ]
+          ~doc:
+            "Suppression baseline file (default: tools/lint_baseline.txt when \
+             it exists; pass an empty string to disable)."
+          ~docv:"FILE")
+  in
+  let sarif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~doc:"Write a SARIF 2.1.0 report to $(docv)."
+          ~docv:"FILE")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the report as JSON instead of text.")
+  in
+  let list_rules_flag =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"List the registered rules and exit.")
+  in
+  let run roots rule_ids baseline_arg sarif_arg json_flag list_rules_flag out =
+    if list_rules_flag then begin
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (r : Rules.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-20s %-7s %s\n" r.Rules.id
+               (Repro_analysis.Finding.severity_to_string r.Rules.severity)
+               r.Rules.doc))
+        Rules.all;
+      emit out (Buffer.contents buf)
+    end
+    else begin
+      let rules =
+        match rule_ids with
+        | [] -> Rules.all
+        | ids ->
+            List.map
+              (fun id ->
+                match Rules.find id with
+                | Some r -> r
+                | None ->
+                    Printf.eprintf
+                      "repro-cli: analyze: unknown rule %S (known: %s)\n" id
+                      (String.concat ", " Rules.ids);
+                    exit 2)
+              ids
+      in
+      let baseline =
+        let path =
+          match baseline_arg with
+          | Some "" -> None
+          | Some p -> Some p
+          | None ->
+              if Sys.file_exists "tools/lint_baseline.txt" then
+                Some "tools/lint_baseline.txt"
+              else None
+        in
+        match path with
+        | None -> []
+        | Some p -> (
+            try Baseline.load p
+            with Sys_error msg | Failure msg ->
+              Printf.eprintf "repro-cli: analyze: %s\n" msg;
+              exit 2)
+      in
+      let roots = match roots with [] -> [ "lib"; "bin" ] | rs -> rs in
+      let report = Engine.run ~baseline ~rules roots in
+      (match sarif_arg with
+      | Some path ->
+          Json.to_file path (Engine.sarif_report ~rules report);
+          Printf.eprintf "wrote %s\n%!" path
+      | None -> ());
+      if json_flag then
+        emit out (Json.to_string (Engine.json_report ~rules report) ^ "\n")
+      else emit out (Engine.text_report report);
+      if report.Engine.fresh <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze the tree with the AST-level spark-safety rules \
+          (spark-purity, atomics-discipline, blocking-in-worker, \
+          discarded-future, unjoined-domain); exits 1 on any non-baselined \
+          finding")
+    Term.(
+      const run $ roots $ rule_ids $ baseline_arg $ sarif_arg $ json_flag
+      $ list_rules_flag $ out_file)
+
 (* ---------------- check ---------------- *)
 
 let check_cmd =
@@ -472,6 +592,7 @@ let main =
       fig5_cmd;
       run_cmd;
       exec_cmd;
+      analyze_cmd;
       check_cmd;
       all_cmd;
     ]

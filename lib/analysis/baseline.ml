@@ -1,0 +1,121 @@
+(** Checked-in suppression baseline.
+
+    One entry per line:
+
+    {v
+    <rule-id> <path>:<line> -- <justification>
+    v}
+
+    Blank lines and lines starting with ['#'] are comments.  Paths are
+    normalised like {!Finding.normalize_path}, so entries match no
+    matter where the analyzer was launched from.  A finding is
+    suppressed by the first unconsumed entry with the same rule id,
+    file and line; entries that match no finding are reported as
+    {e stale} so the baseline shrinks as code gets fixed.  The
+    justification is mandatory — a suppression nobody can explain is a
+    bug with a paper trail. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  line : int;
+  justification : string;
+  source_line : int;  (** line in the baseline file, for stale reports *)
+}
+
+type t = entry list
+
+let parse_error file lineno msg =
+  failwith (Printf.sprintf "%s:%d: baseline syntax error: %s" file lineno msg)
+
+(** Parse baseline text.  [name] is used in error messages only. *)
+let of_string ?(name = "<baseline>") text : t =
+  let entries = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        let entry =
+          match String.index_opt line ' ' with
+          | None -> parse_error name lineno "expected '<rule> <path>:<line> -- <why>'"
+          | Some sp -> (
+              let rule = String.sub line 0 sp in
+              let rest = String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) in
+              let loc_part, justification =
+                let marker = " -- " in
+                let rec find i =
+                  if i + String.length marker > String.length rest then None
+                  else if String.sub rest i (String.length marker) = marker then Some i
+                  else find (i + 1)
+                in
+                match find 0 with
+                | None -> parse_error name lineno "missing ' -- <justification>'"
+                | Some i ->
+                    ( String.sub rest 0 i,
+                      String.trim
+                        (String.sub rest
+                           (i + String.length marker)
+                           (String.length rest - i - String.length marker)) )
+              in
+              if justification = "" then
+                parse_error name lineno "empty justification";
+              match String.rindex_opt loc_part ':' with
+              | None -> parse_error name lineno "expected '<path>:<line>'"
+              | Some c -> (
+                  let path = String.sub loc_part 0 c in
+                  let ln = String.sub loc_part (c + 1) (String.length loc_part - c - 1) in
+                  match int_of_string_opt ln with
+                  | None -> parse_error name lineno ("bad line number " ^ ln)
+                  | Some line ->
+                      {
+                        rule;
+                        file = Finding.normalize_path path;
+                        line;
+                        justification;
+                        source_line = lineno;
+                      }))
+        in
+        entries := entry :: !entries
+      end)
+    (String.split_on_char '\n' text);
+  List.rev !entries
+
+let load path : t =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~name:path text
+
+(** Render a finding as a ready-to-paste baseline line (justification
+    left as a placeholder the committer must fill in). *)
+let suggest (f : Finding.t) =
+  Printf.sprintf "%s %s:%d -- TODO justify" f.rule f.file f.line
+
+(** Split findings into (fresh, suppressed-with-justification), and
+    return the stale entries that matched nothing.  Each entry
+    suppresses at most one finding (two findings on one line need two
+    entries). *)
+let apply (t : t) (findings : Finding.t list) :
+    Finding.t list * (Finding.t * string) list * entry list =
+  let remaining = ref t in
+  let fresh = ref [] and suppressed = ref [] in
+  List.iter
+    (fun (f : Finding.t) ->
+      let rec take acc = function
+        | [] -> None
+        | e :: rest ->
+            if e.rule = f.rule && e.file = f.file && e.line = f.line then begin
+              remaining := List.rev_append acc rest;
+              Some e
+            end
+            else take (e :: acc) rest
+      in
+      match take [] !remaining with
+      | Some e -> suppressed := (f, e.justification) :: !suppressed
+      | None -> fresh := f :: !fresh)
+    findings;
+  (List.rev !fresh, List.rev !suppressed, !remaining)

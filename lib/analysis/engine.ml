@@ -1,0 +1,153 @@
+(** The analysis driver: walk source roots, parse each [.ml] with
+    compiler-libs, run the selected {!Rules}, apply the {!Baseline},
+    and render the result (text / JSON / SARIF).
+
+    Files only have to {e parse} — the engine never typechecks — so it
+    runs on fixture files that reference modules that do not exist, and
+    costs milliseconds on the whole tree.  [.mli] files are skipped:
+    they declare, they do not execute. *)
+
+module J = Repro_util.Json_out
+
+type report = {
+  findings : Finding.t list;  (** everything the rules produced, sorted *)
+  fresh : Finding.t list;  (** not covered by the baseline — these gate *)
+  suppressed : (Finding.t * string) list;  (** finding, justification *)
+  stale : Baseline.entry list;  (** baseline entries that matched nothing *)
+  files_scanned : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Parse one file and run [rules] over it (path exemptions applied).
+    A file that fails to parse yields a single [parse-error] finding —
+    the build would reject it anyway, but the analyzer should say
+    where rather than die. *)
+let scan_file ~(rules : Rules.t list) path : Finding.t list =
+  let norm = Finding.normalize_path path in
+  match
+    let source = read_file path in
+    let lexbuf = Lexing.from_string source in
+    Lexing.set_filename lexbuf norm;
+    Parse.implementation lexbuf
+  with
+  | ast ->
+      List.concat_map
+        (fun (r : Rules.t) -> if r.exempt norm then [] else r.check ~file:path ast)
+        rules
+  | exception exn ->
+      let line, col =
+        match exn with
+        | Syntaxerr.Error err ->
+            let loc = Syntaxerr.location_of_error err in
+            (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+        | _ -> (1, 0)
+      in
+      [
+        {
+          Finding.rule = "parse-error";
+          severity = Finding.Error;
+          file = norm;
+          line;
+          col;
+          message =
+            (match exn with
+            | Syntaxerr.Error _ -> "syntax error"
+            | e -> "cannot parse: " ^ Printexc.to_string e);
+          hint = "fix the syntax error (the build would reject it too)";
+        };
+      ]
+
+(* Directory walk: skip dotdirs and _build, collect .ml files, sorted
+   for deterministic output. *)
+let collect_files roots =
+  let files = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then begin
+      let base = Filename.basename path in
+      if String.length base > 0 && base.[0] <> '.' && base <> "_build" then
+        Array.iter (fun entry -> walk (Filename.concat path entry)) (Sys.readdir path)
+    end
+    else if Filename.check_suffix path ".ml" then files := path :: !files
+  in
+  List.iter walk roots;
+  List.sort String.compare !files
+
+(** Run [rules] over every [.ml] under [roots] and fold the [baseline]
+    in.  Findings are sorted and exact duplicates removed (two rules
+    walking the same subtree may agree). *)
+let run ?(baseline : Baseline.t = []) ~(rules : Rules.t list) roots : report =
+  let files = collect_files roots in
+  let findings =
+    List.concat_map (fun f -> scan_file ~rules f) files
+    |> List.sort_uniq Finding.compare
+  in
+  let fresh, suppressed, stale = Baseline.apply baseline findings in
+  { findings; fresh; suppressed; stale; files_scanned = List.length files }
+
+(* ---------------- rendering ---------------- *)
+
+let text_report ?(verbose = true) (r : report) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (f : Finding.t) ->
+      Buffer.add_string buf (Finding.to_string f);
+      Buffer.add_char buf '\n';
+      if verbose then begin
+        Buffer.add_string buf ("  hint: " ^ f.hint ^ "\n");
+        Buffer.add_string buf ("  baseline: " ^ Baseline.suggest f ^ "\n")
+      end)
+    r.fresh;
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "stale baseline entry (matched no finding): %s %s:%d -- %s\n" e.rule
+           e.file e.line e.justification))
+    r.stale;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d file(s) scanned: %d finding(s), %d suppressed by baseline, %d \
+        stale baseline entr%s\n"
+       r.files_scanned (List.length r.fresh)
+       (List.length r.suppressed)
+       (List.length r.stale)
+       (if List.length r.stale = 1 then "y" else "ies"));
+  Buffer.contents buf
+
+(** Machine-readable report; rule ids are stable, findings sorted, so
+    diffs of this output are meaningful for baselining. *)
+let json_report ~(rules : Rules.t list) (r : report) : J.t =
+  J.Obj
+    [
+      ("schema", J.Str "repro/analysis/v1");
+      ("rules", J.List (List.map (fun (ru : Rules.t) -> J.Str ru.id) rules));
+      ("files_scanned", J.Int r.files_scanned);
+      ("findings", J.List (List.map Finding.to_json r.fresh));
+      ( "suppressed",
+        J.List
+          (List.map
+             (fun ((f : Finding.t), just) ->
+               match Finding.to_json f with
+               | J.Obj fields -> J.Obj (fields @ [ ("justification", J.Str just) ])
+               | other -> other)
+             r.suppressed) );
+      ( "stale_baseline",
+        J.List
+          (List.map
+             (fun (e : Baseline.entry) ->
+               J.Obj
+                 [
+                   ("rule", J.Str e.rule);
+                   ("file", J.Str e.file);
+                   ("line", J.Int e.line);
+                 ])
+             r.stale) );
+    ]
+
+let sarif_report ~(rules : Rules.t list) (r : report) : J.t =
+  Sarif.document ~rules ~fresh:r.fresh ~suppressed:r.suppressed

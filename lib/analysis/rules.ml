@@ -1,0 +1,738 @@
+(** The rule registry: AST-level checks over compiler-libs parsetrees.
+
+    Every rule works on the {e untyped} parsetree ([Parse.implementation]
+    output), which is what makes the engine dependency-free: fixture
+    files and scanned sources only have to parse, not typecheck.  The
+    flip side is that rules are name-based — [module A = Atomic] is
+    resolved by an explicit alias pass, but an alias smuggled through a
+    functor argument is invisible.  Each rule documents its blind spots;
+    the suppression baseline ({!Baseline}) is the escape hatch for
+    intentional violations.
+
+    Rules replace the PR 2 line-regex scanner ([tools/lint_atomics.ml]):
+    operating on the AST means comments, string literals, local module
+    aliases and [open Stdlib.Atomic] are all handled for free, and every
+    finding carries an exact [file:line:col]. *)
+
+open Parsetree
+
+type t = {
+  id : string;  (** stable id used in output, baselines and [--rule] *)
+  severity : Finding.severity;
+  doc : string;  (** one-line description for [--list-rules] and SARIF *)
+  hint : string;  (** generic fix hint attached to every finding *)
+  exempt : string -> bool;  (** normalised-path-based exemption *)
+  check : file:string -> Parsetree.structure -> Finding.t list;
+}
+
+(* ---------------- shared helpers ---------------- *)
+
+module SSet = Set.Make (String)
+
+let no_exempt _ = false
+
+let path_has sub path =
+  let n = String.length path and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub path i m = sub || go (i + 1)) in
+  go 0
+
+let lid_parts (lid : Longident.t) =
+  match Longident.flatten lid with parts -> parts | exception _ -> []
+
+(* [Stdlib.Atomic.get] and [Atomic.get] are the same thing. *)
+let strip_stdlib = function "Stdlib" :: rest -> rest | parts -> parts
+
+let last_part parts =
+  match List.rev parts with [] -> None | x :: _ -> Some x
+
+let dotted parts = String.concat "." parts
+
+let expr_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (lid_parts txt)
+  | _ -> None
+
+let mk ~rule ~severity ~hint ~file (loc : Location.t) message : Finding.t =
+  let p = loc.loc_start in
+  {
+    rule;
+    severity;
+    file = Finding.normalize_path file;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    message;
+    hint;
+  }
+
+(* Visit [e]'s immediate children with [f] (generic one-level descent:
+   lets each rule intercept the constructs it cares about and delegate
+   the rest of the traversal, scoped state included, back to itself). *)
+let descend_children f e =
+  let it =
+    { Ast_iterator.default_iterator with expr = (fun _ c -> f c) }
+  in
+  Ast_iterator.default_iterator.expr it e
+
+(* Iterate every expression in a structure (any depth). *)
+let iter_exprs str f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str
+
+(* Every value binding in the file, any nesting depth. *)
+let iter_value_bindings str f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          f vb;
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it str
+
+let rec simple_var pat =
+  match pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> simple_var p
+  | _ -> None
+
+let rec is_wildcard pat =
+  match pat.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_constraint (p, _) -> is_wildcard p
+  | _ -> false
+
+(* Strip the parameter prefix of a syntactic function, returning the
+   body (or bodies, for [function]-style case lists). *)
+let rec fun_bodies e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> fun_bodies body
+  | Pexp_function cases -> List.map (fun c -> c.pc_rhs) cases
+  | _ -> [ e ]
+
+let is_syntactic_fun e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+(* ================ rule 1: spark-purity ================ *)
+
+(* Closures handed to the spark machinery may be evaluated by any
+   worker — and, under lazy black-holing or fizzle-and-force races,
+   conceptually twice — so they must not perform observable effects.
+   We flag, inside any syntactic [fun] argument of a spark entry point:
+   mutation of state the closure does not own (a [let x = ref ...] or
+   array/buffer allocated *inside* the closure is fine: every
+   evaluation gets its own copy), shim/raw atomic stores, I/O, raises
+   with no enclosing handler, and calls to file-local helpers whose own
+   bodies mutate state they do not own (one level of indirection: this
+   is what surfaces [rows_kernel]-style in-place kernels). *)
+
+let spark_entry_names =
+  SSet.of_list
+    [ "par"; "spark"; "submit"; "par_list"; "par_map"; "par_chunked"; "par_range" ]
+
+let is_spark_entry fn =
+  match expr_ident fn with
+  | Some parts -> (
+      match last_part (strip_stdlib parts) with
+      | Some l -> SSet.mem l spark_entry_names
+      | None -> false)
+  | None -> false
+
+let inplace_writers =
+  List.map
+    (fun p -> (dotted p, ()))
+    [
+      [ "Array"; "set" ]; [ "Array"; "unsafe_set" ]; [ "Array"; "fill" ];
+      [ "Array"; "blit" ]; [ "Bytes"; "set" ]; [ "Bytes"; "unsafe_set" ];
+      [ "Bytes"; "fill" ]; [ "Bytes"; "blit" ]; [ "Hashtbl"; "add" ];
+      [ "Hashtbl"; "replace" ]; [ "Hashtbl"; "remove" ]; [ "Hashtbl"; "reset" ];
+      [ "Hashtbl"; "clear" ]; [ "Buffer"; "add_string" ]; [ "Buffer"; "add_char" ];
+      [ "Buffer"; "clear" ]; [ "Buffer"; "reset" ]; [ "Queue"; "push" ];
+      [ "Queue"; "add" ]; [ "Queue"; "pop" ]; [ "Queue"; "take" ];
+      [ "Stack"; "push" ]; [ "Stack"; "pop" ];
+    ]
+
+let is_inplace_writer parts = List.mem_assoc (dotted parts) inplace_writers
+
+let is_atomic_write parts =
+  match (parts, last_part parts) with
+  | _, None | [], _ | [ _ ], _ -> false
+  | head :: _, Some l ->
+      let anywhere = [ "compare_and_set"; "fetch_and_add"; "exchange" ] in
+      let atomic_mods = [ "Atomic"; "Tatomic" ] in
+      List.mem l anywhere
+      || (List.mem head atomic_mods && List.mem l [ "set"; "incr"; "decr" ])
+
+let io_unqualified =
+  SSet.of_list
+    [
+      "print_string"; "print_endline"; "print_int"; "print_char";
+      "print_float"; "print_newline"; "prerr_string"; "prerr_endline";
+      "prerr_newline"; "read_line"; "read_int"; "exit";
+    ]
+
+let io_modules = SSet.of_list [ "Printf"; "Format"; "Unix"; "Out_channel"; "In_channel" ]
+
+let io_pure_fns =
+  SSet.of_list
+    [ "sprintf"; "asprintf"; "ksprintf"; "kasprintf"; "gettimeofday"; "time" ]
+
+let is_io parts =
+  match parts with
+  | [ x ] -> SSet.mem x io_unqualified
+  | head :: _ -> (
+      SSet.mem head io_modules
+      && match last_part parts with
+         | Some l -> not (SSet.mem l io_pure_fns)
+         | None -> false)
+  | [] -> false
+
+let is_raise parts =
+  match parts with
+  | [ x ] -> List.mem x [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+  | _ -> false
+
+(* RHS shapes that allocate state owned by the binder: [ref e],
+   [Array.make ...], [Buffer.create ...], a literal [| ... |], ... *)
+let rec is_fresh_alloc e =
+  match e.pexp_desc with
+  | Pexp_array _ -> true
+  | Pexp_constraint (e, _) -> is_fresh_alloc e
+  | Pexp_apply (fn, _) -> (
+      match expr_ident fn with
+      | Some parts -> (
+          match strip_stdlib parts with
+          | [ "ref" ] -> true
+          | _ :: _ :: _ as p -> (
+              match last_part p with
+              | Some l ->
+                  List.mem l
+                    [ "make"; "create"; "init"; "copy"; "make_matrix"; "create_float" ]
+              | None -> false)
+          | _ -> false)
+      | None -> false)
+  | _ -> false
+
+type purity_env = { fresh : SSet.t; in_try : bool }
+
+let is_fresh_ident env e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> SSet.mem x env.fresh
+  | _ -> false
+
+(* Walk a spark-closure body (or a helper body when [check_raise] is
+   false), calling [emit loc msg] on every impure construct. *)
+let rec purity_walk ~check_raise ~impure_helpers ~emit env e =
+  let walk = purity_walk ~check_raise ~impure_helpers ~emit in
+  match e.pexp_desc with
+  | Pexp_let (_, vbs, body) ->
+      List.iter (fun vb -> walk env vb.pvb_expr) vbs;
+      let env' =
+        List.fold_left
+          (fun acc vb ->
+            match simple_var vb.pvb_pat with
+            | Some x when is_fresh_alloc vb.pvb_expr ->
+                { acc with fresh = SSet.add x acc.fresh }
+            | Some x -> { acc with fresh = SSet.remove x acc.fresh }
+            | None -> acc)
+          env vbs
+      in
+      walk env' body
+  | Pexp_try (body, cases) ->
+      walk { env with in_try = true } body;
+      List.iter
+        (fun c ->
+          Option.iter (walk env) c.pc_guard;
+          walk env c.pc_rhs)
+        cases
+  | Pexp_setfield (target, _, v) ->
+      if not (is_fresh_ident env target) then
+        emit e.pexp_loc
+          "record field assignment on state captured from outside the sparked \
+           closure";
+      walk env target;
+      walk env v
+  | Pexp_setinstvar (_, v) ->
+      emit e.pexp_loc "instance-variable assignment inside a sparked closure";
+      walk env v
+  | Pexp_apply (fn, args) ->
+      let arg_exprs = List.map snd args in
+      (match expr_ident fn with
+      | Some parts -> (
+          let p = strip_stdlib parts in
+          let loc = e.pexp_loc in
+          if p = [ ":=" ] then (
+            match arg_exprs with
+            | target :: _ when is_fresh_ident env target -> ()
+            | _ ->
+                emit loc
+                  "reference assignment (:=) to state captured from outside \
+                   the sparked closure")
+          else if is_inplace_writer p then (
+            match arg_exprs with
+            | target :: _ when is_fresh_ident env target -> ()
+            | _ ->
+                emit loc
+                  (Printf.sprintf
+                     "in-place write (%s) on state captured from outside the \
+                      sparked closure"
+                     (dotted p)))
+          else if is_atomic_write p then
+            emit loc
+              (Printf.sprintf "atomic store (%s) inside a sparked closure"
+                 (dotted p))
+          else if is_io p then
+            emit loc
+              (Printf.sprintf "I/O (%s) inside a sparked closure" (dotted p))
+          else if is_raise p then (
+            if check_raise && not env.in_try then
+              emit loc
+                (Printf.sprintf
+                   "%s with no enclosing handler inside a sparked closure"
+                   (dotted p)))
+          else
+            match p with
+            | [ x ] when SSet.mem x impure_helpers ->
+                emit loc
+                  (Printf.sprintf
+                     "calls %s, which mutates state it does not own" x)
+            | _ -> ())
+      | None -> ());
+      (* Nested spark entries get their own dedicated walk from the
+         top-level iterator (with the correct ownership view), so skip
+         their closure arguments here. *)
+      let skip_funs = is_spark_entry fn in
+      walk env fn;
+      List.iter
+        (fun a -> if not (skip_funs && is_syntactic_fun a) then walk env a)
+        arg_exprs
+  | _ -> descend_children (walk env) e
+
+(* File-local helpers whose bodies mutate state they do not own (their
+   parameters included): calling one from a sparked closure is as
+   impure as inlining it. *)
+let collect_impure_helpers str =
+  let impure = ref SSet.empty in
+  iter_value_bindings str (fun vb ->
+      match simple_var vb.pvb_pat with
+      | Some name when is_syntactic_fun vb.pvb_expr ->
+          let found = ref false in
+          let emit _ _ = found := true in
+          List.iter
+            (fun body ->
+              purity_walk ~check_raise:false ~impure_helpers:SSet.empty ~emit
+                { fresh = SSet.empty; in_try = false }
+                body)
+            (fun_bodies vb.pvb_expr);
+          if !found then impure := SSet.add name !impure
+      | _ -> ());
+  !impure
+
+let spark_purity =
+  let id = "spark-purity" in
+  let severity = Finding.Error in
+  let hint =
+    "make the closure pure (move mutation inside it, onto state it \
+     allocates), or baseline the site with a justification that duplicate \
+     evaluation is idempotent"
+  in
+  let check ~file str =
+    let impure_helpers = collect_impure_helpers str in
+    let acc = ref [] in
+    let emit loc msg =
+      acc := mk ~rule:id ~severity ~hint ~file loc msg :: !acc
+    in
+    iter_exprs str (fun e ->
+        match e.pexp_desc with
+        | Pexp_apply (fn, args) when is_spark_entry fn ->
+            List.iter
+              (fun (_, a) ->
+                if is_syntactic_fun a then
+                  List.iter
+                    (purity_walk ~check_raise:true ~impure_helpers ~emit
+                       { fresh = SSet.empty; in_try = false })
+                    (fun_bodies a))
+              args
+        | _ -> ());
+    !acc
+  in
+  {
+    id;
+    severity;
+    doc =
+      "closures passed to par/spark/submit must not mutate shared state, \
+       perform I/O, or raise unhandled: they may be evaluated by any worker \
+       and must be safe under duplicate evaluation";
+    hint;
+    (* lib/check deliberately sparks raising/violating closures — that
+       is what a model-checking protocol is. *)
+    exempt = (fun p -> path_has "lib/check/" p);
+    check;
+  }
+
+(* ================ rule 2: atomics-discipline ================ *)
+
+(* The model checker (lib/check) can only see atomic operations routed
+   through the Repro_shim.Tatomic shim.  Raw [Atomic.*] (however
+   spelled: [Stdlib.Atomic], a [module A = Atomic] alias, or an [open])
+   is invisible to DPOR and the race detector; [Obj.magic] defeats the
+   type system outright.  The shim itself and the checker's tracing
+   cells are exempt by path. *)
+
+let atomics_discipline =
+  let id = "atomics-discipline" in
+  let severity = Finding.Error in
+  let hint =
+    "route the operation through Repro_shim.Tatomic (functorise over \
+     Tatomic.S) so lib/check can trace it"
+  in
+  let check ~file str =
+    let acc = ref [] in
+    let emit loc msg =
+      acc := mk ~rule:id ~severity ~hint ~file loc msg :: !acc
+    in
+    let aliases = ref SSet.empty in
+    let is_atomic_module_expr me =
+      match me.pmod_desc with
+      | Pmod_ident { txt; _ } -> strip_stdlib (lid_parts txt) = [ "Atomic" ]
+      | _ -> false
+    in
+    (* pass 1: aliases and opens (any depth) *)
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        module_binding =
+          (fun self mb ->
+            (if is_atomic_module_expr mb.pmb_expr then begin
+               (match mb.pmb_name.txt with
+               | Some n -> aliases := SSet.add n !aliases
+               | None -> ());
+               emit mb.pmb_loc
+                 "module alias of Atomic: the aliased operations bypass the \
+                  Repro_shim.Tatomic shim"
+             end);
+            Ast_iterator.default_iterator.module_binding self mb);
+        open_declaration =
+          (fun self od ->
+            if is_atomic_module_expr od.popen_expr then
+              emit od.popen_loc
+                "open of Atomic puts raw atomic operations in scope, \
+                 bypassing the Repro_shim.Tatomic shim";
+            Ast_iterator.default_iterator.open_declaration self od);
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_letmodule ({ txt = Some n; _ }, me, _)
+              when is_atomic_module_expr me ->
+                aliases := SSet.add n !aliases;
+                emit e.pexp_loc
+                  "local module alias of Atomic bypasses the \
+                   Repro_shim.Tatomic shim"
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.structure it str;
+    (* pass 2: uses, in expressions and in types *)
+    let flag_lid loc lid =
+      let parts = strip_stdlib (lid_parts lid) in
+      match parts with
+      | "Atomic" :: _ :: _ ->
+          emit loc
+            (Printf.sprintf
+               "raw %s: go through the Repro_shim.Tatomic shim so lib/check \
+                can trace it"
+               (dotted parts))
+      | [ "Obj"; "magic" ] -> emit loc "Obj.magic defeats the type system"
+      | head :: _ :: _ when SSet.mem head !aliases ->
+          emit loc
+            (Printf.sprintf
+               "%s goes through a local alias of Atomic, bypassing the \
+                Repro_shim.Tatomic shim"
+               (dotted parts))
+      | _ -> ()
+    in
+    let it2 =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> flag_lid loc txt
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+        typ =
+          (fun self t ->
+            (match t.ptyp_desc with
+            | Ptyp_constr ({ txt; loc }, _) -> flag_lid loc txt
+            | _ -> ());
+            Ast_iterator.default_iterator.typ self t);
+      }
+    in
+    it2.structure it2 str;
+    !acc
+  in
+  {
+    id;
+    severity;
+    doc =
+      "raw Atomic operations (including Stdlib.Atomic, module aliases and \
+       opens) and Obj.magic are forbidden outside lib/shim and lib/check";
+    hint;
+    exempt = (fun p -> path_has "lib/shim/" p || path_has "lib/check/" p);
+    check;
+  }
+
+(* ================ rule 3: blocking-in-worker ================ *)
+
+(* A pool worker that blocks the OS thread starves every spark behind
+   it — and, if the blocked operation waits on another spark, can
+   deadlock the pool.  Roots are the conventional worker entry points
+   ([worker_loop], [idle_wait]) plus any lambda passed to
+   [Domain.spawn]; reachability is a file-local call graph over
+   unqualified names (cross-module calls are invisible — each module's
+   own loops must be scanned in its own file). *)
+
+let blocking_prims =
+  SSet.of_list
+    [
+      "Unix.sleep"; "Unix.sleepf"; "Unix.select"; "Mutex.lock";
+      "Condition.wait"; "Event.sync"; "Domain.join"; "Thread.delay";
+      "Thread.join"; "input_line"; "input_char"; "really_input";
+      "really_input_string"; "read_line"; "In_channel.input_line";
+      "In_channel.input_all"; "In_channel.really_input_string";
+    ]
+
+let worker_roots = SSet.of_list [ "worker_loop"; "idle_wait" ]
+
+let blocking_in_worker =
+  let id = "blocking-in-worker" in
+  let severity = Finding.Warning in
+  let hint =
+    "replace the blocking call with helping (run pending sparks), bounded \
+     backoff, or the pool's parking handshake; baseline designed blocking \
+     points with a justification"
+  in
+  let check ~file str =
+    (* name -> bodies, for every binding in the file *)
+    let bindings = Hashtbl.create 64 in
+    iter_value_bindings str (fun vb ->
+        match simple_var vb.pvb_pat with
+        | Some name ->
+            Hashtbl.add bindings name
+              (List.concat_map fun_bodies [ vb.pvb_expr ])
+        | None -> ());
+    (* seed bodies: named roots + lambdas passed to Domain.spawn *)
+    let seed_names =
+      SSet.filter (fun n -> Hashtbl.mem bindings n) worker_roots
+    in
+    let spawn_lambdas = ref [] in
+    iter_exprs str (fun e ->
+        match e.pexp_desc with
+        | Pexp_apply (fn, args) -> (
+            match expr_ident fn with
+            | Some parts when strip_stdlib parts = [ "Domain"; "spawn" ] ->
+                List.iter
+                  (fun (_, a) ->
+                    if is_syntactic_fun a then
+                      spawn_lambdas := fun_bodies a @ !spawn_lambdas)
+                  args
+            | _ -> ())
+        | _ -> ());
+    (* reachability over unqualified name references *)
+    let referenced_names body =
+      let acc = ref SSet.empty in
+      let rec go e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident x; _ } ->
+            if Hashtbl.mem bindings x then acc := SSet.add x !acc
+        | _ -> ());
+        descend_children go e
+      in
+      go body;
+      !acc
+    in
+    let visited = ref SSet.empty in
+    let reachable_bodies = ref [] in
+    let rec visit name =
+      if not (SSet.mem name !visited) then begin
+        visited := SSet.add name !visited;
+        List.iter
+          (fun bodies ->
+            List.iter
+              (fun b ->
+                reachable_bodies := b :: !reachable_bodies;
+                SSet.iter visit (referenced_names b))
+              bodies)
+          (Hashtbl.find_all bindings name)
+      end
+    in
+    SSet.iter visit seed_names;
+    List.iter
+      (fun b ->
+        reachable_bodies := b :: !reachable_bodies;
+        SSet.iter visit (referenced_names b))
+      !spawn_lambdas;
+    (* scan reachable bodies for blocking primitives *)
+    let acc = ref [] in
+    let emit loc msg =
+      acc := mk ~rule:id ~severity ~hint ~file loc msg :: !acc
+    in
+    let rec scan e =
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+          let name = dotted (strip_stdlib (lid_parts txt)) in
+          if SSet.mem name blocking_prims then
+            emit loc
+              (Printf.sprintf
+                 "%s is reachable from a pool worker loop and blocks the OS \
+                  thread (starving every spark behind it)"
+                 name)
+      | _ -> ());
+      descend_children scan e
+    in
+    List.iter scan !reachable_bodies;
+    !acc
+  in
+  {
+    id;
+    severity;
+    doc =
+      "blocking primitives (Unix.sleep, Mutex.lock, Condition.wait, channel \
+       reads, ...) reachable from worker-loop bodies stall the executor";
+    hint;
+    (* lib/check deliberately models blocking inside its simulated
+       workers; the real-executor discipline does not apply there. *)
+    exempt = (fun p -> path_has "lib/check/" p);
+    check;
+  }
+
+(* ================ rules 4 & 5: discarded results ================ *)
+
+(* Shared detector for "this application's result is discarded":
+   [ignore e], [ignore @@ e], [e |> ignore], [let _ = e], and
+   sequence position [e; ...]. *)
+
+let is_ignore_fn e =
+  match expr_ident e with Some [ "ignore" ] | Some [ "Stdlib"; "ignore" ] -> true | _ -> false
+
+let discard_findings ~is_target str f =
+  let target e =
+    match e.pexp_desc with
+    | Pexp_apply (fn, _) -> (
+        match expr_ident fn with
+        | Some parts -> is_target (strip_stdlib parts)
+        | None -> false)
+    | _ -> false
+  in
+  iter_exprs str (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (fn, [ (_, arg) ]) when is_ignore_fn fn && target arg ->
+          f arg.pexp_loc "ignored"
+      | Pexp_apply (op, [ (_, a); (_, b) ]) -> (
+          match expr_ident op with
+          | Some [ "@@" ] when is_ignore_fn a && target b ->
+              f b.pexp_loc "ignored"
+          | Some [ "|>" ] when is_ignore_fn b && target a ->
+              f a.pexp_loc "ignored"
+          | _ -> ())
+      | Pexp_sequence (e1, _) when target e1 ->
+          f e1.pexp_loc "discarded in sequence position"
+      | _ -> ());
+  iter_value_bindings str (fun vb ->
+      if is_wildcard vb.pvb_pat && target vb.pvb_expr then
+        f vb.pvb_expr.pexp_loc "bound to a wildcard")
+
+let discarded_future =
+  let id = "discarded-future" in
+  let severity = Finding.Warning in
+  let hint =
+    "bind the future and force it (Future.force) on some path, so its \
+     exceptions and result can be observed"
+  in
+  let check ~file str =
+    let acc = ref [] in
+    discard_findings
+      ~is_target:(fun parts ->
+        match last_part parts with Some "spark" -> true | _ -> false)
+      str
+      (fun loc how ->
+        acc :=
+          mk ~rule:id ~severity ~hint ~file loc
+            (Printf.sprintf
+               "Future value %s: if its closure raises, the exception is \
+                silently lost (Failed futures only re-raise on force)"
+               how)
+          :: !acc);
+    !acc
+  in
+  {
+    id;
+    severity;
+    doc =
+      "a Future.spark result that is ignored or unbound can never be \
+       forced, so exceptions raised by its closure are silently dropped";
+    hint;
+    exempt = no_exempt;
+    check;
+  }
+
+let unjoined_domain =
+  let id = "unjoined-domain" in
+  let severity = Finding.Error in
+  let hint =
+    "bind the Domain.spawn result and Domain.join it before shutdown so \
+     termination invariants stay enforceable"
+  in
+  let check ~file str =
+    let acc = ref [] in
+    discard_findings
+      ~is_target:(fun parts -> parts = [ "Domain"; "spawn" ])
+      str
+      (fun loc how ->
+        acc :=
+          mk ~rule:id ~severity ~hint ~file loc
+            (Printf.sprintf
+               "Domain.spawn handle %s: the domain can never be joined, so \
+                shutdown invariants (spark ledger, quiescence) are \
+                unenforceable"
+               how)
+          :: !acc);
+    !acc
+  in
+  {
+    id;
+    severity;
+    doc =
+      "a Domain.spawn whose handle is ignored, wildcard-bound or discarded \
+       in sequence position can never be joined";
+    hint;
+    exempt = no_exempt;
+    check;
+  }
+
+(* ---------------- registry ---------------- *)
+
+let all =
+  [
+    spark_purity;
+    atomics_discipline;
+    blocking_in_worker;
+    discarded_future;
+    unjoined_domain;
+  ]
+
+let ids = List.map (fun r -> r.id) all
+
+let find id = List.find_opt (fun r -> r.id = id) all

@@ -1,0 +1,116 @@
+(** SARIF 2.1.0 output (Static Analysis Results Interchange Format).
+
+    Minimal but valid: one [run] with a [tool.driver] listing every
+    registered rule, one [result] per finding.  Baselined findings are
+    included with a [suppressions] entry carrying the justification, so
+    SARIF viewers (and GitHub code scanning) show them as suppressed
+    rather than silently dropping them. *)
+
+module J = Repro_util.Json_out
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+let tool_name = "repro-lint"
+let tool_version = "1.0.0"
+
+let level_of = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+
+let rule_descriptor ~id ~doc ~hint : J.t =
+  J.Obj
+    [
+      ("id", J.Str id);
+      ("shortDescription", J.Obj [ ("text", J.Str doc) ]);
+      ("help", J.Obj [ ("text", J.Str hint) ]);
+    ]
+
+let result ?suppression (f : Finding.t) : J.t =
+  let base =
+    [
+      ("ruleId", J.Str f.rule);
+      ("level", J.Str (level_of f.severity));
+      ("message", J.Obj [ ("text", J.Str (f.message ^ ". Hint: " ^ f.hint)) ]);
+      ( "locations",
+        J.List
+          [
+            J.Obj
+              [
+                ( "physicalLocation",
+                  J.Obj
+                    [
+                      ( "artifactLocation",
+                        J.Obj
+                          [
+                            ("uri", J.Str f.file);
+                            ("uriBaseId", J.Str "SRCROOT");
+                          ] );
+                      ( "region",
+                        J.Obj
+                          [
+                            ("startLine", J.Int f.line);
+                            (* SARIF columns are 1-based *)
+                            ("startColumn", J.Int (f.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+  in
+  match suppression with
+  | None -> J.Obj base
+  | Some justification ->
+      J.Obj
+        (base
+        @ [
+            ( "suppressions",
+              J.List
+                [
+                  J.Obj
+                    [
+                      ("kind", J.Str "external");
+                      ("justification", J.Str justification);
+                    ];
+                ] );
+          ])
+
+(** The full SARIF document.  [fresh] findings gate CI; [suppressed]
+    ones are carried along with their baseline justification. *)
+let document ~(rules : Rules.t list) ~(fresh : Finding.t list)
+    ~(suppressed : (Finding.t * string) list) : J.t =
+  let rule_descriptors =
+    List.map (fun (r : Rules.t) -> rule_descriptor ~id:r.id ~doc:r.doc ~hint:r.hint) rules
+    @ [
+        rule_descriptor ~id:"parse-error"
+          ~doc:"the file could not be parsed by compiler-libs"
+          ~hint:"fix the syntax error (the build would reject it too)";
+      ]
+  in
+  J.Obj
+    [
+      ("$schema", J.Str schema_uri);
+      ("version", J.Str "2.1.0");
+      ( "runs",
+        J.List
+          [
+            J.Obj
+              [
+                ( "tool",
+                  J.Obj
+                    [
+                      ( "driver",
+                        J.Obj
+                          [
+                            ("name", J.Str tool_name);
+                            ("version", J.Str tool_version);
+                            ("rules", J.List rule_descriptors);
+                          ] );
+                    ] );
+                ( "results",
+                  J.List
+                    (List.map (fun f -> result f) fresh
+                    @ List.map
+                        (fun (f, j) -> result ~suppression:j f)
+                        suppressed) );
+              ];
+          ] );
+    ]

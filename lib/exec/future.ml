@@ -139,7 +139,9 @@ include
         if idle > 512 then begin
           (* Nothing to help with and the producer still runs: yield the
              OS timeslice so it can (matters when domains outnumber
-             hardware threads). *)
+             hardware threads).  blocking-in-worker (baselined): this is
+             the designed bounded backoff — 100µs, only after 512 dry
+             spins, never while work is available. *)
           Unix.sleepf 1e-4;
           idle
         end

@@ -20,6 +20,16 @@ type measurement = {
   min_ns : float;
   speedup : float;  (** vs the 1-core entry of the same sweep; 1.0 alone *)
   result : int;  (** checksum; equal across core counts by construction *)
+  minor_collections : int;
+      (** GC counter deltas across the timed repeats, from
+          [Gc.quick_stat] on the calling domain.  Under OCaml 5 each
+          domain has its own minor heap, so these undercount work done
+          on worker domains; they still expose allocation-rate
+          differences between runtime versions (the paper's §4.2
+          big-allocation-area observation). *)
+  major_collections : int;
+  promoted_words : float;
+  minor_words : float;
 }
 
 let now_ns () = Unix.gettimeofday () *. 1e9
@@ -34,6 +44,7 @@ let measure ?(repeats = 3) ~cores ~size (module W : Workload.S) =
       (* warm-up *)
       let stats = Stats.create () in
       let result = ref 0 in
+      let gc0 = Gc.quick_stat () in
       for i = 1 to repeats do
         let t0 = now_ns () in
         let r = W.run ~size () in
@@ -45,6 +56,7 @@ let measure ?(repeats = 3) ~cores ~size (module W : Workload.S) =
             (Printf.sprintf "%s: nondeterministic result at %d cores: %d <> %d"
                W.name cores r !result)
       done;
+      let gc1 = Gc.quick_stat () in
       {
         workload = W.name;
         size;
@@ -55,6 +67,10 @@ let measure ?(repeats = 3) ~cores ~size (module W : Workload.S) =
         min_ns = Stats.min_value stats;
         speedup = 1.0;
         result = !result;
+        minor_collections = gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+        major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+        promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+        minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
       })
 
 (** Measure at every core count in [cores_list]; speedups are relative
@@ -83,8 +99,13 @@ let to_table (ms : measurement list) =
           Tablefmt.Right;
           Tablefmt.Right;
           Tablefmt.Right;
+          Tablefmt.Right;
+          Tablefmt.Right;
         ]
-      [ "workload"; "cores"; "mean"; "stddev"; "speedup"; "efficiency" ]
+      [
+        "workload"; "cores"; "mean"; "stddev"; "speedup"; "efficiency";
+        "minor GCs"; "major GCs";
+      ]
   in
   List.iter
     (fun m ->
@@ -96,6 +117,8 @@ let to_table (ms : measurement list) =
           Printf.sprintf "%.2f ms" (m.stddev_ns /. 1e6);
           Printf.sprintf "%.2fx" m.speedup;
           Printf.sprintf "%.0f%%" (100.0 *. m.speedup /. float_of_int m.cores);
+          string_of_int m.minor_collections;
+          string_of_int m.major_collections;
         ])
     ms;
   t
@@ -112,6 +135,10 @@ let json_of_measurement (m : measurement) : Json.t =
       ("min_ns", Json.Float m.min_ns);
       ("speedup", Json.Float m.speedup);
       ("result", Json.Int m.result);
+      ("gc_minor_collections", Json.Int m.minor_collections);
+      ("gc_major_collections", Json.Int m.major_collections);
+      ("gc_promoted_words", Json.Float m.promoted_words);
+      ("gc_minor_words", Json.Float m.minor_words);
     ]
 
 (** The [BENCH_exec.json] document: environment header + one row per

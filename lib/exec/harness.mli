@@ -13,6 +13,14 @@ type measurement = {
   min_ns : float;
   speedup : float;  (** vs the 1-core entry of the same sweep; 1.0 alone *)
   result : int;
+  minor_collections : int;
+      (** GC counter deltas across the timed repeats ([Gc.quick_stat]
+          on the calling domain — worker-domain minor heaps are not
+          included, so treat these as allocation-rate indicators, not
+          absolute totals). *)
+  major_collections : int;
+  promoted_words : float;
+  minor_words : float;
 }
 
 (** Monotonic-enough wall clock in nanoseconds. *)

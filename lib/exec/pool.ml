@@ -250,7 +250,9 @@ module Make (A : Repro_shim.Tatomic.S) = struct
     let gen = A.get t.wake_gen in
     (* Final re-check *after* announcing ourselves as a sleeper: either
        the pusher saw [sleepers > 0] and will bump [wake_gen], or this
-       check sees its task. *)
+       check sees its task.  blocking-in-worker (baselined): parking IS
+       the designed blocking point — a worker only reaches it with
+       every deque empty, and any push broadcasts [wake]. *)
     if not (A.get t.stop) && not (has_work t) then begin
       Mutex.lock t.lock;
       while

@@ -1,0 +1,5 @@
+(* seeded violations: a module alias of Atomic, then a use through it —
+   the regex scanner this engine replaced saw neither *)
+module A = Atomic
+
+let c = A.make 0

@@ -1,0 +1,2 @@
+(* seeded violation (ported from lint_atomics): Obj.magic *)
+let cast x = Obj.magic x

@@ -1,0 +1,8 @@
+(* clean: Atomic.make in a comment must not trip the rule *)
+let s = "Atomic.make in a string"
+
+module T = Repro_shim.Tatomic
+
+let v c = Sched.Atomic.get c
+let w = T.name
+let d f = let d0 = Domain.spawn f in Domain.join d0

@@ -1,0 +1,2 @@
+(* seeded violation: open Stdlib.Atomic puts raw atomics in scope *)
+open Stdlib.Atomic

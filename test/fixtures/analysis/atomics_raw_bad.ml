@@ -1,0 +1,2 @@
+(* seeded violation (ported from lint_atomics): raw Atomic outside the shim *)
+let c = Atomic.make 0

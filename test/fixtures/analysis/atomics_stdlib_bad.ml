@@ -1,0 +1,2 @@
+(* seeded violation: Stdlib-qualified Atomic is still raw Atomic *)
+let v c = Stdlib.Atomic.get c

@@ -1,0 +1,6 @@
+(* seeded violation: a worker loop that takes a lock *)
+let rec worker_loop q =
+  step q;
+  worker_loop q
+
+and step q = Mutex.lock q

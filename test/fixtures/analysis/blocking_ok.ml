@@ -1,0 +1,10 @@
+(* clean worker loop: spins and recurses, never blocks; the lock in
+   shutdown is fine because shutdown is not reachable from the loop *)
+let rec worker_loop q =
+  match q with
+  | [] -> ()
+  | _ :: rest ->
+      Domain.cpu_relax ();
+      worker_loop rest
+
+let shutdown m = Mutex.lock m

@@ -1,0 +1,3 @@
+(* seeded violation: the sparked future is ignored, so an exception in
+   its closure can never be observed *)
+let launch f = ignore (Future.spark f)

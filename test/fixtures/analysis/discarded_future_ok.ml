@@ -1,0 +1,4 @@
+(* clean: the future is bound and forced *)
+let launch f =
+  let fut = Future.spark f in
+  Future.force fut

@@ -1,0 +1,2 @@
+(* seeded violation: this file does not parse *)
+let = (

@@ -1,0 +1,9 @@
+(* seeded violation: the closure calls a local helper that writes its
+   argument in place *)
+let fill dst v =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- v
+  done
+
+let run dst =
+  Strategies.par (fun () -> fill dst 1) (fun () -> 2)

@@ -1,0 +1,4 @@
+(* seeded violation: I/O inside the sparked closure *)
+let run () =
+  let fut = Future.spark (fun () -> print_endline "working"; 1) in
+  Future.force fut

@@ -1,0 +1,4 @@
+(* seeded violation: raise with no enclosing handler *)
+let run x =
+  let fut = Future.spark (fun () -> if x < 0 then failwith "negative" else x) in
+  Future.force fut

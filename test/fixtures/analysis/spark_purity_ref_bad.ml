@@ -1,0 +1,6 @@
+(* seeded violation: the sparked closure mutates a captured counter *)
+let counter = ref 0
+
+let run () =
+  let fut = Future.spark (fun () -> counter := !counter + 1; !counter) in
+  Future.force fut

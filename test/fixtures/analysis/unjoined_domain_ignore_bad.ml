@@ -1,0 +1,2 @@
+(* seeded violation (ported from lint_atomics): discarded Domain.spawn *)
+let start f = ignore (Domain.spawn f)

@@ -1,0 +1,4 @@
+(* clean: every spawned domain is joined *)
+let run_all fs =
+  let ds = List.map Domain.spawn fs in
+  List.iter Domain.join ds

@@ -1,0 +1,3 @@
+(* seeded violation: the generalised discard the old literal pattern
+   missed — piping the handle into ignore *)
+let start f = Domain.spawn f |> ignore

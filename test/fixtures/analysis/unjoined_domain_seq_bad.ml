@@ -1,0 +1,4 @@
+(* seeded violation: sequence position discards the handle *)
+let start f =
+  Domain.spawn f;
+  ()

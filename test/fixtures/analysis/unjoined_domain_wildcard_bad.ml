@@ -1,0 +1,4 @@
+(* seeded violation: wildcard-binding the handle discards it too *)
+let start f =
+  let _ = Domain.spawn f in
+  ()

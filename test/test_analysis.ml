@@ -1,0 +1,203 @@
+(** Tests for the AST-level analyzer (lib/analysis): every fixture's
+    exact rule-id/line pairs, the baseline silencing/un-silencing
+    round trip, and the JSON/SARIF renderings. *)
+
+open Alcotest
+module Finding = Repro_analysis.Finding
+module Rules = Repro_analysis.Rules
+module Baseline = Repro_analysis.Baseline
+module Engine = Repro_analysis.Engine
+
+let fixture_dir = "fixtures/analysis"
+let fixture name = Filename.concat fixture_dir name
+
+let scan name =
+  Engine.scan_file ~rules:Rules.all (fixture name)
+  |> List.sort_uniq Finding.compare
+
+let pairs findings =
+  List.map (fun (f : Finding.t) -> (f.rule, f.line)) findings
+
+(* Every fixture and the exact (rule, line) findings it must produce.
+   Clean files assert the absence of false positives; the three
+   lint_atomics seeded violations (raw Atomic, Obj.magic, discarded
+   Domain.spawn) live on as atomics_raw_bad / atomics_magic_bad /
+   unjoined_domain_ignore_bad. *)
+let expectations =
+  [
+    ("spark_purity_ref_bad.ml", [ ("spark-purity", 5) ]);
+    ("spark_purity_helper_bad.ml", [ ("spark-purity", 9) ]);
+    ("spark_purity_io_bad.ml", [ ("spark-purity", 3) ]);
+    ("spark_purity_raise_bad.ml", [ ("spark-purity", 3) ]);
+    ("spark_purity_ok.ml", []);
+    ("atomics_raw_bad.ml", [ ("atomics-discipline", 2) ]);
+    ("atomics_stdlib_bad.ml", [ ("atomics-discipline", 2) ]);
+    ("atomics_magic_bad.ml", [ ("atomics-discipline", 2) ]);
+    ( "atomics_alias_bad.ml",
+      [ ("atomics-discipline", 3); ("atomics-discipline", 5) ] );
+    ("atomics_open_bad.ml", [ ("atomics-discipline", 2) ]);
+    ("atomics_ok.ml", []);
+    ("blocking_bad.ml", [ ("blocking-in-worker", 6) ]);
+    ("blocking_ok.ml", []);
+    ("discarded_future_bad.ml", [ ("discarded-future", 3) ]);
+    ("discarded_future_ok.ml", []);
+    ("unjoined_domain_ignore_bad.ml", [ ("unjoined-domain", 2) ]);
+    ("unjoined_domain_pipe_bad.ml", [ ("unjoined-domain", 3) ]);
+    ("unjoined_domain_wildcard_bad.ml", [ ("unjoined-domain", 3) ]);
+    ("unjoined_domain_seq_bad.ml", [ ("unjoined-domain", 3) ]);
+    ("unjoined_domain_ok.ml", []);
+    ("parse_error_bad.ml", [ ("parse-error", 2) ]);
+  ]
+
+let fixture_case (name, expected) () =
+  check
+    (list (pair string int))
+    name expected
+    (pairs (scan name))
+
+(* The whole fixture tree through Engine.run: file count and total
+   finding count must agree with the per-file table (no fixture is
+   silently skipped, no finding double-reported). *)
+let engine_run_aggregates () =
+  let r = Engine.run ~rules:Rules.all [ fixture_dir ] in
+  check int "files scanned" (List.length expectations) r.Engine.files_scanned;
+  check int "total findings"
+    (List.fold_left (fun a (_, e) -> a + List.length e) 0 expectations)
+    (List.length r.Engine.fresh);
+  check int "nothing suppressed without a baseline" 0
+    (List.length r.Engine.suppressed)
+
+(* Rule ids are the stable interface for baselines and --rule: lock
+   them down. *)
+let rule_ids_stable () =
+  check (list string) "registry ids"
+    [
+      "spark-purity"; "atomics-discipline"; "blocking-in-worker";
+      "discarded-future"; "unjoined-domain";
+    ]
+    Rules.ids
+
+let baseline_entry name line rule =
+  Printf.sprintf "%s %s:%d -- seeded fixture, intentionally violating" rule
+    (fixture name) line
+
+(* A matching baseline entry silences the finding; removing it brings
+   the finding back; an entry that matches nothing is stale. *)
+let baseline_roundtrip () =
+  let findings = scan "spark_purity_ref_bad.ml" in
+  check int "one finding to play with" 1 (List.length findings);
+  let b =
+    Baseline.of_string (baseline_entry "spark_purity_ref_bad.ml" 5 "spark-purity")
+  in
+  let fresh, suppressed, stale = Baseline.apply b findings in
+  check int "silenced" 0 (List.length fresh);
+  check int "recorded as suppressed" 1 (List.length suppressed);
+  check int "no stale entries" 0 (List.length stale);
+  (* un-silence: no baseline *)
+  let fresh, suppressed, _ = Baseline.apply [] findings in
+  check int "back without baseline" 1 (List.length fresh);
+  check int "no suppressions" 0 (List.length suppressed);
+  (* wrong line -> stale entry, finding stays fresh *)
+  let b2 =
+    Baseline.of_string
+      (baseline_entry "spark_purity_ref_bad.ml" 999 "spark-purity")
+  in
+  let fresh, _, stale = Baseline.apply b2 findings in
+  check int "finding survives mismatch" 1 (List.length fresh);
+  check int "entry reported stale" 1 (List.length stale)
+
+(* Baseline paths are normalised, so an entry written as ../<path>
+   still matches (the dune @lint rule runs from _build/default/tools). *)
+let baseline_path_normalisation () =
+  let findings = scan "atomics_magic_bad.ml" in
+  let b =
+    Baseline.of_string
+      (Printf.sprintf "atomics-discipline ../%s:2 -- seeded fixture"
+         (fixture "atomics_magic_bad.ml"))
+  in
+  let fresh, suppressed, _ = Baseline.apply b findings in
+  check int "normalised path matches" 0 (List.length fresh);
+  check int "suppressed" 1 (List.length suppressed)
+
+let baseline_rejects_missing_justification () =
+  check_raises "no justification"
+    (Failure "<baseline>:1: baseline syntax error: missing ' -- <justification>'")
+    (fun () -> ignore (Baseline.of_string "spark-purity lib/a.ml:3"))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let sarif_shape () =
+  let findings = scan "atomics_raw_bad.ml" in
+  let fresh, suppressed, _ =
+    Baseline.apply
+      (Baseline.of_string
+         (baseline_entry "atomics_raw_bad.ml" 2 "atomics-discipline"))
+      findings
+  in
+  let report =
+    {
+      Engine.findings;
+      fresh;
+      suppressed;
+      stale = [];
+      files_scanned = 1;
+    }
+  in
+  let s = Repro_util.Json_out.to_string (Engine.sarif_report ~rules:Rules.all report) in
+  check bool "declares SARIF 2.1.0" true (contains ~sub:"\"version\": \"2.1.0\"" s);
+  check bool "links the 2.1.0 schema" true (contains ~sub:"sarif-2.1.0.json" s);
+  check bool "lists the rule" true (contains ~sub:"\"id\": \"atomics-discipline\"" s);
+  check bool "result carries ruleId" true
+    (contains ~sub:"\"ruleId\": \"atomics-discipline\"" s);
+  check bool "1-based SARIF line" true (contains ~sub:"\"startLine\": 2" s);
+  check bool "suppression justification travels" true
+    (contains ~sub:"seeded fixture, intentionally violating" s)
+
+let json_shape () =
+  let r = Engine.run ~rules:Rules.all [ fixture_dir ] in
+  let s = Repro_util.Json_out.to_string (Engine.json_report ~rules:Rules.all r) in
+  check bool "schema id" true (contains ~sub:"repro/analysis/v1" s);
+  check bool "stable rule listing" true
+    (contains ~sub:"\"spark-purity\"" s);
+  check bool "findings carry hints" true (contains ~sub:"\"hint\"" s)
+
+(* The production tree must be clean modulo the checked-in baseline —
+   the same gate `dune build @lint` applies, exercised here from the
+   test suite so `dune runtest` alone catches a regression.  Sources
+   are reachable from _build/default/test via the workspace root. *)
+let tree_is_clean_under_baseline () =
+  let root = "../../.." in
+  let lib = Filename.concat root "lib" and bin = Filename.concat root "bin" in
+  if Sys.file_exists lib && Sys.file_exists bin then begin
+    let baseline =
+      Baseline.load (Filename.concat root "tools/lint_baseline.txt")
+    in
+    let r = Engine.run ~baseline ~rules:Rules.all [ lib; bin ] in
+    let render fs =
+      String.concat "; " (List.map Finding.to_string fs)
+    in
+    check string "no fresh findings" "" (render r.Engine.fresh);
+    check int "no stale baseline entries" 0 (List.length r.Engine.stale)
+  end
+
+let suite =
+  ( "analysis",
+    List.map
+      (fun (name, expected) ->
+        test_case ("fixture " ^ name) `Quick (fixture_case (name, expected)))
+      expectations
+    @ [
+        test_case "engine run aggregates fixtures" `Quick engine_run_aggregates;
+        test_case "rule ids are stable" `Quick rule_ids_stable;
+        test_case "baseline silences and un-silences" `Quick baseline_roundtrip;
+        test_case "baseline normalises paths" `Quick baseline_path_normalisation;
+        test_case "baseline requires a justification" `Quick
+          baseline_rejects_missing_justification;
+        test_case "SARIF 2.1.0 document shape" `Quick sarif_shape;
+        test_case "JSON report shape" `Quick json_shape;
+        test_case "lib+bin clean under checked-in baseline" `Quick
+          tree_is_clean_under_baseline;
+      ] )

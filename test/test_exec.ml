@@ -227,7 +227,15 @@ let harness_sweep_shape () =
   List.iter
     (fun (r : Harness.measurement) ->
       check Alcotest.int "same checksum" base.Harness.result r.Harness.result;
-      check Alcotest.bool "positive time" true (r.Harness.mean_ns > 0.0))
+      check Alcotest.bool "positive time" true (r.Harness.mean_ns > 0.0);
+      (* GC deltas are taken between two quick_stats, so they can
+         never go backwards *)
+      check Alcotest.bool "minor GCs non-negative" true
+        (r.Harness.minor_collections >= 0);
+      check Alcotest.bool "major GCs non-negative" true
+        (r.Harness.major_collections >= 0);
+      check Alcotest.bool "minor words non-negative" true
+        (r.Harness.minor_words >= 0.0))
     ms
 
 let core_counts () =
@@ -248,7 +256,9 @@ let json_document_valid () =
     (contains ~sub:"repro/bench-exec/v1" s);
   check Alcotest.bool "has speedup field" true (contains ~sub:"\"speedup\"" s);
   check Alcotest.bool "one row per core count" true
-    (contains ~sub:"\"cores\": 2" s)
+    (contains ~sub:"\"cores\": 2" s);
+  check Alcotest.bool "carries GC counters" true
+    (contains ~sub:"\"gc_minor_collections\"" s)
 
 let suite =
   let workload_cases =

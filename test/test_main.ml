@@ -19,4 +19,5 @@ let () =
       Test_eventlog.suite;
       Test_gum.suite;
       Test_experiments.suite;
+      Test_analysis.suite;
     ]

@@ -1,0 +1,84 @@
+(* Command-line driver for the AST-level analyzer (lib/analysis), wired
+   as `dune build @lint` and usable standalone:
+
+     repro_lint [--baseline FILE] [--rule ID]... [--json] [--sarif FILE]
+                [--list-rules] [ROOT]...
+
+   Scans every .ml under the given roots (default: lib bin), runs the
+   rule registry, subtracts the suppression baseline, and exits 1 if
+   any fresh finding remains (2 on usage/baseline errors).  This
+   replaces the PR 2 line-regex scanner tools/lint_atomics.ml: the
+   same three disciplines (raw Atomic, Obj.magic, discarded
+   Domain.spawn) are now AST-checked — see test/fixtures/analysis for
+   the ported seeded violations — alongside spark-purity,
+   blocking-in-worker and discarded-future. *)
+
+module Engine = Repro_analysis.Engine
+module Rules = Repro_analysis.Rules
+module Baseline = Repro_analysis.Baseline
+module Json = Repro_util.Json_out
+
+let () =
+  let baseline_path = ref None in
+  let rule_ids = ref [] in
+  let json = ref false in
+  let sarif_path = ref None in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String (fun s -> baseline_path := Some s),
+        "FILE Suppression baseline (rule path:line -- justification)" );
+      ( "--rule",
+        Arg.String (fun s -> rule_ids := s :: !rule_ids),
+        "ID Run only this rule (repeatable)" );
+      ("--json", Arg.Set json, " Emit the JSON report on stdout");
+      ( "--sarif",
+        Arg.String (fun s -> sarif_path := Some s),
+        "FILE Also write a SARIF 2.1.0 report to FILE" );
+      ("--list-rules", Arg.Set list_rules, " List rule ids and exit");
+    ]
+  in
+  let usage = "repro_lint [options] [ROOT]..." in
+  Arg.parse spec (fun r -> roots := r :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rules.t) ->
+        Printf.printf "%-20s %-7s %s\n" r.id
+          (Repro_analysis.Finding.severity_to_string r.severity)
+          r.doc)
+      Rules.all;
+    exit 0
+  end;
+  let rules =
+    match !rule_ids with
+    | [] -> Rules.all
+    | ids ->
+        List.rev_map
+          (fun id ->
+            match Rules.find id with
+            | Some r -> r
+            | None ->
+                Printf.eprintf "repro_lint: unknown rule %S (known: %s)\n" id
+                  (String.concat ", " Rules.ids);
+                exit 2)
+          ids
+  in
+  let baseline =
+    match !baseline_path with
+    | None -> []
+    | Some p -> (
+        try Baseline.load p
+        with Sys_error msg | Failure msg ->
+          Printf.eprintf "repro_lint: %s\n" msg;
+          exit 2)
+  in
+  let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
+  let report = Engine.run ~baseline ~rules roots in
+  (match !sarif_path with
+  | Some path -> Json.to_file path (Engine.sarif_report ~rules report)
+  | None -> ());
+  if !json then print_string (Json.to_string (Engine.json_report ~rules report) ^ "\n")
+  else print_string (Engine.text_report report);
+  if report.Engine.fresh <> [] then exit 1
