@@ -172,13 +172,115 @@ let dump_fig1_json (r : E.Fig1.result) =
   in
   Repro_util.Json_out.to_file "BENCH_repro.json"
     (Repro_util.Json_out.Obj
-       [
-         ("schema", Repro_util.Json_out.Str "repro/bench-repro/v1");
-         ("figure", Repro_util.Json_out.Str "fig1");
-         ("n", Repro_util.Json_out.Int r.n);
-         ("rows", Repro_util.Json_out.List rows);
-       ]);
+       (("schema", Repro_util.Json_out.Str "repro/bench-repro/v1")
+        :: Exec_harness.env_header ()
+       @ [
+           ("figure", Repro_util.Json_out.Str "fig1");
+           ("n", Repro_util.Json_out.Int r.n);
+           ("rows", Repro_util.Json_out.List rows);
+         ]));
   Printf.printf "wrote BENCH_repro.json (%d rows)\n" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Part 1c: minor-heap sweep                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's big-allocation-area optimisation (Sec. IV-B) tunes the
+   per-CPU allocation area to trade minor-GC frequency against cache
+   locality.  The OCaml 5 analogue is the per-domain minor heap,
+   sized by [OCAMLRUNPARAM s=<words>] — which is only read at startup,
+   so each setting re-executes this binary with the environment
+   variable set and a [--minor-heap-child] marker. *)
+
+let minor_heap_settings = [ 65_536; 262_144; 1_048_576; 4_194_304 ]
+
+let minor_heap_workload () =
+  List.find
+    (fun (module W : Exec_workload.S) -> W.name = "sumeuler")
+    Exec_workload.all
+
+let minor_heap_child () =
+  let (module W) = minor_heap_workload () in
+  let size = if quick then W.quick_size else W.default_size in
+  let cores = min 2 (Domain.recommended_domain_count ()) in
+  let m = Exec_harness.measure ~repeats:2 ~cores ~size (module W) in
+  print_string (Repro_util.Json_out.to_string (Exec_harness.json_of_measurement m))
+
+let minor_heap_sweep () =
+  hr "Minor-heap sweep: OCAMLRUNPARAM s=<words> vs GC counters";
+  let (module W) = minor_heap_workload () in
+  Printf.printf
+    "workload %s at %d domain(s); each setting runs in a fresh process\n"
+    W.name
+    (min 2 (Domain.recommended_domain_count ()));
+  let header = Exec_harness.env_header () in
+  let rows =
+    List.filter_map
+      (fun words ->
+        Unix.putenv "OCAMLRUNPARAM" (Printf.sprintf "s=%d" words);
+        let ic =
+          Unix.open_process_in
+            (Filename.quote Sys.executable_name ^ " --minor-heap-child")
+        in
+        let buf = Buffer.create 256 in
+        (try
+           while true do
+             Buffer.add_channel buf ic 1
+           done
+         with End_of_file -> ());
+        match (Unix.close_process_in ic, Buffer.contents buf) with
+        | Unix.WEXITED 0, s -> (
+            match Repro_util.Json_in.parse s with
+            | j -> Some (words, j)
+            | exception Repro_util.Json_in.Parse_error _ ->
+                Printf.printf "  s=%d: unparseable child output\n" words;
+                None)
+        | _ ->
+            Printf.printf "  s=%d: child run failed\n" words;
+            None)
+      minor_heap_settings
+  in
+  let t =
+    Repro_util.Tablefmt.create
+      ~aligns:
+        Repro_util.Tablefmt.[ Right; Right; Right; Right; Right; Right ]
+      [
+        "minor heap (words)"; "mean"; "minor GCs"; "major GCs"; "minor words";
+        "promoted";
+      ]
+  in
+  let get j key f = Option.value ~default:0.0 (Option.bind (Repro_util.Json_in.member key j) f) in
+  List.iter
+    (fun (words, j) ->
+      let num key = get j key Repro_util.Json_in.to_float in
+      Repro_util.Tablefmt.add_row t
+        [
+          string_of_int words;
+          Printf.sprintf "%.2f ms" (num "mean_ns" /. 1e6);
+          Printf.sprintf "%.0f" (num "gc_minor_collections");
+          Printf.sprintf "%.0f" (num "gc_major_collections");
+          Printf.sprintf "%.3e" (num "gc_minor_words");
+          Printf.sprintf "%.3e" (num "gc_promoted_words");
+        ])
+    rows;
+  Repro_util.Tablefmt.print t;
+  Repro_util.Json_out.to_file "BENCH_minorheap.json"
+    (Repro_util.Json_out.Obj
+       (("schema", Repro_util.Json_out.Str "repro/bench-minorheap/v1")
+        :: header
+       @ [
+           ( "settings",
+             Repro_util.Json_out.List
+               (List.map
+                  (fun (words, j) ->
+                    Repro_util.Json_out.Obj
+                      [
+                        ("minor_heap_words", Repro_util.Json_out.Int words);
+                        ("measurement", j);
+                      ])
+                  rows) );
+         ]));
+  Printf.printf "wrote BENCH_minorheap.json (%d settings)\n" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel                                                    *)
@@ -378,15 +480,20 @@ let benchmark () =
     tests
 
 let () =
-  Printf.printf
-    "Reproduction harness: 'Comparing and Optimising Parallel Haskell \
-     Implementations for Multicore Machines' (ICPP 2009)\n";
-  if quick then Printf.printf "(quick mode: reduced sizes)\n";
-  let fig1 = reproduce_fig1 () in
-  dump_fig1_json fig1;
-  reproduce_fig2 ();
-  reproduce_fig3 ();
-  reproduce_fig4 ();
-  reproduce_fig5 ();
-  sim_vs_real ();
-  benchmark ()
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--minor-heap-child" argv then minor_heap_child ()
+  else if List.mem "--minor-heap" argv then minor_heap_sweep ()
+  else begin
+    Printf.printf
+      "Reproduction harness: 'Comparing and Optimising Parallel Haskell \
+       Implementations for Multicore Machines' (ICPP 2009)\n";
+    if quick then Printf.printf "(quick mode: reduced sizes)\n";
+    let fig1 = reproduce_fig1 () in
+    dump_fig1_json fig1;
+    reproduce_fig2 ();
+    reproduce_fig3 ();
+    reproduce_fig4 ();
+    reproduce_fig5 ();
+    sim_vs_real ();
+    benchmark ()
+  end

@@ -283,10 +283,33 @@ let exec_cmd =
       & info [ "events" ]
           ~doc:
             "Also run once at $(b,--cores) domains and print the scheduler's \
-             event counters (sparks created/run/fizzled, steals, parking).")
+             event counters (sparks created/run/fizzled, steals, parking), \
+             with a per-worker breakdown.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ]
+          ~doc:
+            "Also run once at $(b,--cores) domains with the hardware tracer \
+             on and write the merged timeline (scheduler events + GC spans) \
+             as Chrome trace-event JSON to $(docv) (load in Perfetto or \
+             chrome://tracing); prints the utilization profile."
+          ~docv:"FILE.json")
+  in
+  let trace_svg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-svg" ]
+          ~doc:
+            "With $(b,--trace): also render the traced run's per-worker \
+             timeline as SVG to $(docv)."
+          ~docv:"FILE.svg")
   in
   let run (module W : Workload.S) cores size repeat sweep_flag json_file
-      exec_events quick out =
+      exec_events trace_file trace_svg quick out =
     let hw = Domain.recommended_domain_count () in
     let cores = match cores with Some c -> max 1 c | None -> hw in
     let size =
@@ -344,8 +367,63 @@ let exec_cmd =
         failwith "events run: result differs from sequential reference";
       Buffer.add_string buf
         (Format.asprintf "scheduler events at %d domain(s):@\n%a@\n" cores
-           Pool.pp_events (Pool.events p))
+           Pool.pp_events (Pool.events p));
+      let per_worker = Pool.worker_events p in
+      let t =
+        Repro_util.Tablefmt.create
+          ~aligns:
+            Repro_util.Tablefmt.[ Right; Right; Right; Right; Right; Right ]
+          [ "worker"; "created"; "run"; "steals"; "attempts"; "parks" ]
+      in
+      Array.iteri
+        (fun i (e : Pool.events) ->
+          Repro_util.Tablefmt.add_row t
+            [
+              string_of_int i;
+              string_of_int e.Pool.sparks_created;
+              string_of_int e.Pool.sparks_run;
+              string_of_int e.Pool.steals;
+              string_of_int e.Pool.steal_attempts;
+              string_of_int e.Pool.parks;
+            ])
+        per_worker;
+      Buffer.add_string buf "per-worker breakdown:\n";
+      Buffer.add_string buf (Repro_util.Tablefmt.to_string t)
     end;
+    (match trace_file with
+    | None ->
+        if trace_svg <> None then
+          Buffer.add_string buf "--trace-svg has no effect without --trace\n"
+    | Some path ->
+        let module Pool = Repro_exec.Pool in
+        let module Tracer = Repro_exec.Tracer in
+        let tr = Tracer.create ~ncaps:cores () in
+        Tracer.enable tr;
+        let p = Pool.create ~cores ~tracer:tr () in
+        let v = Pool.run p (fun () -> W.run ~size ()) in
+        Pool.shutdown p;
+        Tracer.disable tr;
+        if v <> reference then
+          failwith "traced run: result differs from sequential reference";
+        let log = Tracer.to_eventlog tr in
+        let doc = Repro_trace.Chrome.of_eventlog ~ncaps:cores log in
+        Repro_util.Json_out.to_file path doc;
+        Buffer.add_string buf
+          (Printf.sprintf "wrote %s (%d events recorded, Chrome trace-event \
+                           format)\n"
+             path (Tracer.recorded tr));
+        (match trace_svg with
+        | Some svg_path ->
+            let trace = Repro_trace.Eventlog.to_trace ~ncaps:cores log in
+            Repro_trace.Render_svg.to_file
+              ~title:(Printf.sprintf "%s, %d domain(s)" W.name cores)
+              trace svg_path;
+            Buffer.add_string buf (Printf.sprintf "wrote %s\n" svg_path)
+        | None -> ());
+        let report =
+          Repro_exec.Profile.analyze (Repro_exec.Profile.of_chrome_json doc)
+        in
+        Buffer.add_string buf (Repro_exec.Profile.to_string report));
     emit out (Buffer.contents buf)
   in
   Cmd.v
@@ -355,7 +433,42 @@ let exec_cmd =
           executor) and report measured wall-clock speedups")
     Term.(
       const run $ workload $ cores $ size $ repeat $ sweep_flag $ json_file
-      $ exec_events $ quick $ out_file)
+      $ exec_events $ trace_file $ trace_svg $ quick $ out_file)
+
+(* ---------------- profile: post-hoc trace analysis ---------------- *)
+
+let profile_cmd =
+  let module Profile = Repro_exec.Profile in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.json"
+          ~doc:"Chrome trace-event JSON written by $(b,exec --trace).")
+  in
+  let run file out =
+    let doc =
+      try Repro_util.Json_in.of_file file
+      with Repro_util.Json_in.Parse_error { pos; msg } ->
+        Printf.eprintf "repro-cli: profile: %s: parse error at byte %d: %s\n"
+          file pos msg;
+        exit 2
+    in
+    let report =
+      try Profile.analyze (Profile.of_chrome_json doc)
+      with Failure msg ->
+        Printf.eprintf "repro-cli: profile: %s: %s\n" file msg;
+        exit 2
+    in
+    emit out (Printf.sprintf "profile of %s\n%s" file (Profile.to_string report))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Analyze a hardware trace (Chrome trace-event JSON from $(b,exec \
+          --trace)): per-worker utilization, idle-gap histogram, spark \
+          granularity and steal latency")
+    Term.(const run $ file $ out_file)
 
 (* ---------------- analyze: static analysis ---------------- *)
 
@@ -592,6 +705,7 @@ let main =
       fig5_cmd;
       run_cmd;
       exec_cmd;
+      profile_cmd;
       analyze_cmd;
       check_cmd;
       all_cmd;

@@ -186,6 +186,11 @@ let model_pool () : (module MODEL_POOL) =
     let note_run () = ()
     let note_fizzle () = ()
 
+    (* trace hooks: the model pool records nothing *)
+    let note_eval_begin () = ()
+    let note_eval_end () = ()
+    let note_force () = ()
+
     let idle_wait done_ idle =
       Sched.wait_until done_;
       idle

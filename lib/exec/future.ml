@@ -35,6 +35,13 @@ module type POOL_BACKEND = sig
   val help : ctx -> bool
   val note_run : ctx -> unit
   val note_fizzle : ctx -> unit
+
+  (** Trace hooks (no-ops on untraced backends): a successful claim's
+      evaluation span, and a forcer demanding an unfinished future. *)
+  val note_eval_begin : ctx -> unit
+
+  val note_eval_end : ctx -> unit
+  val note_force : ctx -> unit
   val idle_wait : (unit -> bool) -> int -> int
 end
 
@@ -65,14 +72,19 @@ module Make (A : Repro_shim.Tatomic.S) (P : POOL_BACKEND) = struct
     match A.get fut with Done _ | Failed _ -> true | _ -> false
 
   (* Claim and evaluate if still unclaimed; [true] iff this call
-     performed the evaluation. *)
+     performed the evaluation.  The eval span (claim-to-completion)
+     is the tracer's spark-granularity instrument; outside a pool the
+     hooks are skipped entirely. *)
   let try_claim fut =
     match A.get fut with
     | Todo f as prev ->
         if A.compare_and_set fut prev Running then begin
+          let ctx = P.current () in
+          (match ctx with Some c -> P.note_eval_begin c | None -> ());
           (match f () with
           | v -> A.set fut (Done v)
           | exception e -> A.set fut (Failed e));
+          (match ctx with Some c -> P.note_eval_end c | None -> ());
           true
         end
         else false
@@ -116,7 +128,10 @@ module Make (A : Repro_shim.Tatomic.S) (P : POOL_BACKEND) = struct
     match A.get fut with
     | Done v -> v
     | Failed e -> raise e
-    | _ -> wait_loop fut (P.current ()) 0
+    | _ ->
+        let ctx = P.current () in
+        (match ctx with Some c -> P.note_force c | None -> ());
+        wait_loop fut ctx 0
 
   let peek fut =
     match A.get fut with Done v -> Some v | _ -> None
@@ -133,6 +148,9 @@ include
       let help = Pool.help
       let note_run = Pool.note_run
       let note_fizzle = Pool.note_fizzle
+      let note_eval_begin = Pool.note_eval_begin
+      let note_eval_end = Pool.note_eval_end
+      let note_force = Pool.note_force
 
       let idle_wait _is_done idle =
         Domain.cpu_relax ();

@@ -22,6 +22,13 @@ module type POOL_BACKEND = sig
   val help : ctx -> bool
   val note_run : ctx -> unit
   val note_fizzle : ctx -> unit
+
+  (** Trace hooks (no-ops on untraced backends): a successful claim's
+      evaluation span, and a forcer demanding an unfinished future. *)
+  val note_eval_begin : ctx -> unit
+
+  val note_eval_end : ctx -> unit
+  val note_force : ctx -> unit
   val idle_wait : (unit -> bool) -> int -> int
 end
 

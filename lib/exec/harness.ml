@@ -32,7 +32,34 @@ type measurement = {
   minor_words : float;
 }
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* CLOCK_MONOTONIC via bechamel's noalloc stub — immune to NTP steps,
+   same timebase as the {!Tracer}. *)
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let git_commit () =
+  (* Best-effort: a bench run outside a work tree (or without git)
+     just records "unknown". *)
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, l when l <> "" -> l
+      | _ -> "unknown"
+      | exception _ -> "unknown")
+
+(** Environment header shared by every benchmark document
+    ([BENCH_exec.json], [BENCH_repro.json], minor-heap sweeps): enough
+    to reproduce the run — hardware width, the runtime knobs in effect
+    and the exact code revision. *)
+let env_header () : (string * Json.t) list =
+  [
+    ("hardware_cores", Json.Int (Domain.recommended_domain_count ()));
+    ("ocaml", Json.Str Sys.ocaml_version);
+    ( "ocamlrunparam",
+      Json.Str (Option.value ~default:"" (Sys.getenv_opt "OCAMLRUNPARAM")) );
+    ("git_commit", Json.Str (git_commit ()));
+  ]
 
 (** Run [W] at [cores] domains, [repeats] timed runs (after one
     untimed warm-up), on a fresh pool.  Raises [Failure] if two
@@ -145,9 +172,6 @@ let json_of_measurement (m : measurement) : Json.t =
     (workload, core count). *)
 let json_document (ms : measurement list) : Json.t =
   Json.Obj
-    [
-      ("schema", Json.Str "repro/bench-exec/v1");
-      ("hardware_cores", Json.Int (Domain.recommended_domain_count ()));
-      ("ocaml", Json.Str Sys.ocaml_version);
-      ("measurements", Json.List (List.map json_of_measurement ms));
-    ]
+    (("schema", Json.Str "repro/bench-exec/v1")
+     :: env_header ()
+    @ [ ("measurements", Json.List (List.map json_of_measurement ms)) ])

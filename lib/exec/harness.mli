@@ -23,8 +23,13 @@ type measurement = {
   minor_words : float;
 }
 
-(** Monotonic-enough wall clock in nanoseconds. *)
+(** CLOCK_MONOTONIC in nanoseconds (same timebase as {!Tracer}). *)
 val now_ns : unit -> float
+
+(** Environment header for benchmark documents: hardware core count,
+    OCaml version, effective [OCAMLRUNPARAM] and git commit (or
+    ["unknown"] outside a work tree). *)
+val env_header : unit -> (string * Repro_util.Json_out.t) list
 
 (** Run the workload on a fresh [cores]-domain pool: one warm-up run
     plus [repeats] (default 3) timed runs.

@@ -63,11 +63,11 @@ module type S = sig
   type task = unit -> unit
   type ctx
 
-  val create : ?cores:int -> unit -> t
+  val create : ?cores:int -> ?tracer:Tracer.t -> unit -> t
   val cores : t -> int
   val run : t -> (unit -> 'a) -> 'a
   val shutdown : t -> unit
-  val with_pool : ?cores:int -> (unit -> 'a) -> 'a
+  val with_pool : ?cores:int -> ?tracer:Tracer.t -> (unit -> 'a) -> 'a
   val current : unit -> ctx option
   val ctx_pool : ctx -> t
   val ctx_id : ctx -> int
@@ -75,7 +75,11 @@ module type S = sig
   val help : ctx -> bool
   val note_run : ctx -> unit
   val note_fizzle : ctx -> unit
+  val note_eval_begin : ctx -> unit
+  val note_eval_end : ctx -> unit
+  val note_force : ctx -> unit
   val events : t -> events
+  val worker_events : t -> events array
 end
 
 module Make (A : Repro_shim.Tatomic.S) = struct
@@ -113,6 +117,10 @@ module Make (A : Repro_shim.Tatomic.S) = struct
     deque : task Ws_deque.t;
     rng : Rng.t;  (** victim selection; deterministically seeded per worker *)
     counters : counters;
+    tbuf : Tracer.buffer;
+        (** this worker's trace ring; {!Tracer.null_buffer} when the
+            pool is untraced, so every record call is one load + one
+            branch *)
   }
 
   type t = {
@@ -141,8 +149,38 @@ module Make (A : Repro_shim.Tatomic.S) = struct
   let cores t = Array.length t.workers
   let ctx_pool ((t, _) : ctx) = t
   let ctx_id ((_, w) : ctx) = w.id
-  let note_run ((_, w) : ctx) = A.incr w.counters.run
-  let note_fizzle ((_, w) : ctx) = A.incr w.counters.fizzled
+
+  let note_run ((_, w) : ctx) =
+    A.incr w.counters.run;
+    Tracer.record w.tbuf Tracer.Spark_run ~arg:0
+
+  let note_fizzle ((_, w) : ctx) =
+    A.incr w.counters.fizzled;
+    Tracer.record w.tbuf Tracer.Spark_fizzle ~arg:0
+
+  (* Trace hooks for the {!Future} layer: claim-to-completion spans
+     (the spark-granularity instrument) and force demands. *)
+  let note_eval_begin ((_, w) : ctx) =
+    Tracer.record w.tbuf Tracer.Eval_begin ~arg:0
+
+  let note_eval_end ((_, w) : ctx) =
+    Tracer.record w.tbuf Tracer.Eval_end ~arg:0
+
+  let note_force ((_, w) : ctx) = Tracer.record w.tbuf Tracer.Force ~arg:0
+
+  let events_of_counters c : events =
+    {
+      sparks_created = A.get c.created;
+      sparks_run = A.get c.run;
+      sparks_fizzled = A.get c.fizzled;
+      steal_attempts = A.get c.steal_attempts;
+      steals = A.get c.steals;
+      parks = A.get c.parks;
+      wakeups = A.get c.wakeups;
+    }
+
+  let worker_events t =
+    Array.map (fun w -> events_of_counters w.counters) t.workers
 
   let events t : events =
     let sum f =
@@ -188,6 +226,7 @@ module Make (A : Repro_shim.Tatomic.S) = struct
   let push ((t, w) : ctx) task =
     Ws_deque.push w.deque task;
     A.incr w.counters.created;
+    Tracer.record w.tbuf Tracer.Spark_create ~arg:0;
     signal_work w.counters t
 
   (* One randomised steal sweep: start at a random victim, visit every
@@ -204,9 +243,11 @@ module Make (A : Repro_shim.Tatomic.S) = struct
           if v.id = w.id then go (k + 1)
           else begin
             A.incr w.counters.steal_attempts;
+            Tracer.record w.tbuf Tracer.Steal_attempt ~arg:v.id;
             match Ws_deque.steal v.deque with
             | Some _ as r ->
                 A.incr w.counters.steals;
+                Tracer.record w.tbuf Tracer.Steal_success ~arg:v.id;
                 r
             | None -> go (k + 1)
           end
@@ -232,20 +273,26 @@ module Make (A : Repro_shim.Tatomic.S) = struct
 
   (* Tasks from the future layer never raise (they capture exceptions in
      the result cell), but keep helper domains alive no matter what goes
-     into a deque. *)
-  let run_task task = try task () with _ -> ()
+     into a deque.  The task span brackets every execution — worker
+     loop and helping forcers alike — so per-worker busy time is
+     visible in traces. *)
+  let run_task (w : worker) task =
+    Tracer.record w.tbuf Tracer.Task_begin ~arg:0;
+    (try task () with _ -> ());
+    Tracer.record w.tbuf Tracer.Task_end ~arg:0
 
   (* Run one pending task if any is available.  Used both by the worker
      loop and by forcers that help while waiting on a future. *)
   let help ((t, w) : ctx) =
     match find_task t w with
     | Some task ->
-        run_task task;
+        run_task w task;
         true
     | None -> false
 
   let park t (w : worker) =
     A.incr w.counters.parks;
+    Tracer.record w.tbuf Tracer.Park ~arg:0;
     A.incr t.sleepers;
     let gen = A.get t.wake_gen in
     (* Final re-check *after* announcing ourselves as a sleeper: either
@@ -264,23 +311,44 @@ module Make (A : Repro_shim.Tatomic.S) = struct
       done;
       Mutex.unlock t.lock
     end;
-    A.decr t.sleepers
+    A.decr t.sleepers;
+    Tracer.record w.tbuf Tracer.Unpark ~arg:0
 
   let rec worker_loop t (w : worker) =
     if not (A.get t.stop) then begin
       (match find_task t w with
-      | Some task -> run_task task
+      | Some task -> run_task w task
       | None -> park t w);
       worker_loop t w
     end
 
-  let create ?cores:requested () =
+  (* Helper-domain entry: the worker span brackets the whole loop so
+     every domain owns at least one slice in exported traces. *)
+  let worker_main t (w : worker) =
+    Domain.DLS.set context_key (Some (t, w));
+    Tracer.record w.tbuf Tracer.Worker_begin ~arg:0;
+    worker_loop t w;
+    Tracer.record w.tbuf Tracer.Worker_end ~arg:0
+
+  let create ?cores:requested ?tracer () =
     let ncores =
       match requested with
       | Some c ->
           if c < 1 then invalid_arg "Pool.create: cores must be >= 1";
           c
       | None -> Domain.recommended_domain_count ()
+    in
+    (match tracer with
+    | Some tr when Tracer.ncaps tr < ncores ->
+        invalid_arg
+          (Printf.sprintf
+             "Pool.create: tracer has %d buffer(s) but the pool wants %d"
+             (Tracer.ncaps tr) ncores)
+    | _ -> ());
+    let tbuf_of id =
+      match tracer with
+      | Some tr -> Tracer.buffer tr id
+      | None -> Tracer.null_buffer
     in
     let master = Rng.create 0x9e3779b9 in
     let workers =
@@ -290,6 +358,7 @@ module Make (A : Repro_shim.Tatomic.S) = struct
             deque = Ws_deque.create ();
             rng = Rng.split master;
             counters = counters_create ();
+            tbuf = tbuf_of id;
           })
     in
     let t =
@@ -305,10 +374,7 @@ module Make (A : Repro_shim.Tatomic.S) = struct
     in
     t.domains <-
       List.init (ncores - 1) (fun i ->
-          Domain.spawn (fun () ->
-              let w = t.workers.(i + 1) in
-              Domain.DLS.set context_key (Some (t, w));
-              worker_loop t w));
+          Domain.spawn (fun () -> worker_main t t.workers.(i + 1)));
     t
 
   (* Discard a worker's leftover deque entries, accounting for them:
@@ -323,10 +389,12 @@ module Make (A : Repro_shim.Tatomic.S) = struct
     let w0 = t.workers.(0) in
     let saved = Domain.DLS.get context_key in
     Domain.DLS.set context_key (Some (t, w0));
+    Tracer.record w0.tbuf Tracer.Worker_begin ~arg:0;
     Fun.protect
       ~finally:(fun () ->
         (* Leftover deque entries are runners for futures that were
            already forced (and hence claimed): discard them. *)
+        Tracer.record w0.tbuf Tracer.Worker_end ~arg:0;
         discard_leftovers w0;
         Domain.DLS.set context_key saved)
       f
@@ -344,8 +412,8 @@ module Make (A : Repro_shim.Tatomic.S) = struct
        balances ([sparks_created = sparks_run + sparks_fizzled]). *)
     Array.iter discard_leftovers t.workers
 
-  let with_pool ?cores f =
-    let t = create ?cores () in
+  let with_pool ?cores ?tracer f =
+    let t = create ?cores ?tracer () in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t f)
 end
 

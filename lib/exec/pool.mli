@@ -42,9 +42,14 @@ module type S = sig
   type ctx
 
   (** [create ?cores ()] spawns [cores - 1] helper domains (default
-      [Domain.recommended_domain_count ()]).
-      @raise Invalid_argument if [cores < 1]. *)
-  val create : ?cores:int -> unit -> t
+      [Domain.recommended_domain_count ()]).  When [tracer] is given,
+      each worker records scheduler events into its {!Tracer} ring
+      buffer (enable the tracer {e before} creating the pool so the
+      runtime's GC rings are captured from the helpers' birth); without
+      it every trace point is a one-load-one-branch no-op.
+      @raise Invalid_argument if [cores < 1], or if [tracer] has fewer
+      buffers than [cores]. *)
+  val create : ?cores:int -> ?tracer:Tracer.t -> unit -> t
 
   (** Number of workers (including the caller's worker 0). *)
   val cores : t -> int
@@ -60,7 +65,7 @@ module type S = sig
   val shutdown : t -> unit
 
   (** [with_pool ?cores f]: {!create}, {!run}, always {!shutdown}. *)
-  val with_pool : ?cores:int -> (unit -> 'a) -> 'a
+  val with_pool : ?cores:int -> ?tracer:Tracer.t -> (unit -> 'a) -> 'a
 
   (** The current domain's binding, when inside a pool. *)
   val current : unit -> ctx option
@@ -84,8 +89,19 @@ module type S = sig
 
   val note_fizzle : ctx -> unit
 
+  (** Trace hooks for the {!Future} layer (no-ops when untraced):
+      claim-to-completion spans and force demands. *)
+  val note_eval_begin : ctx -> unit
+
+  val note_eval_end : ctx -> unit
+  val note_force : ctx -> unit
+
   (** Counter snapshot (sum over workers).  Exact once quiescent. *)
   val events : t -> events
+
+  (** Per-worker counter snapshots, indexed by worker id — makes load
+      imbalance visible without a full trace. *)
+  val worker_events : t -> events array
 end
 
 module Make (A : Repro_shim.Tatomic.S) : S

@@ -1,0 +1,142 @@
+(** Chrome trace-event exporter: turns an {!Eventlog} (notably the
+    hardware logs recorded by [lib/exec]'s per-domain tracer) into the
+    Trace Event Format JSON that Perfetto and [chrome://tracing] load
+    directly.
+
+    One track ([tid]) per capability/worker.  Span events (task, eval,
+    parked, worker lifetime, per-domain GC) become complete slices
+    ([ph = "X"] with a duration) — complete slices need no begin/end
+    nesting discipline, so a log whose unmatched opens were truncated
+    by a ring buffer still renders.  Point events (spark create / run /
+    fizzle, steal attempt/success, future forced) become instants
+    ([ph = "i"]).  Timestamps are microseconds as the format requires;
+    the source log is nanoseconds. *)
+
+module Json = Repro_util.Json_out
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(* A span kind is identified by (cap, name); spans of the same kind on
+   the same track close LIFO (nested helping produces nested task
+   slices). *)
+type open_span = { start_ns : int }
+
+let slice ~pid ~tid ~name ~cat ~ts_ns ~dur_ns args =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str "X");
+       ("ts", Json.Float (us_of_ns ts_ns));
+       ("dur", Json.Float (us_of_ns dur_ns));
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let instant ~pid ~tid ~name ~cat ~ts_ns args =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str "i");
+       ("s", Json.Str "t");  (* thread-scoped instant *)
+       ("ts", Json.Float (us_of_ns ts_ns));
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let metadata ~pid ~tid ~name value =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("ts", Json.Float 0.0);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+
+let of_eventlog ?(pid = 0) ?(process_name = "repro-exec") ~ncaps log =
+  let events = Eventlog.events log in
+  let out = ref [] in
+  let push j = out := j :: !out in
+  let last_ts = List.fold_left (fun acc (t, _) -> max acc t) 0 events in
+  (* per-(cap, kind) stacks of open spans *)
+  let open_spans : (int * string, open_span list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let begin_span cap kind ts =
+    let k = (cap, kind) in
+    let st = Option.value ~default:[] (Hashtbl.find_opt open_spans k) in
+    Hashtbl.replace open_spans k ({ start_ns = ts } :: st)
+  in
+  let end_span ?(cat = "exec") cap kind ts =
+    let k = (cap, kind) in
+    match Hashtbl.find_opt open_spans k with
+    | Some (sp :: rest) ->
+        Hashtbl.replace open_spans k rest;
+        push
+          (slice ~pid ~tid:cap ~name:kind ~cat ~ts_ns:sp.start_ns
+             ~dur_ns:(max 0 (ts - sp.start_ns))
+             [])
+    | _ -> ()  (* end without begin: dropped by the ring buffer *)
+  in
+  List.iter
+    (fun (ts, ev) ->
+      match (ev : Eventlog.event) with
+      | Task_begin { cap } -> begin_span cap "task" ts
+      | Task_end { cap } -> end_span cap "task" ts
+      | Eval_begin { cap } -> begin_span cap "eval" ts
+      | Eval_end { cap } -> end_span cap "eval" ts
+      | Cap_parked { cap } -> begin_span cap "parked" ts
+      | Cap_unparked { cap } -> end_span cap "parked" ts
+      | Worker_begin { cap } -> begin_span cap "worker" ts
+      | Worker_end { cap } -> end_span cap "worker" ts
+      | Gc_begin { cap; major } ->
+          begin_span cap (if major then "gc:major" else "gc:minor") ts
+      | Gc_end { cap; major } ->
+          end_span ~cat:"gc" cap (if major then "gc:major" else "gc:minor") ts
+      | Spark_created { cap } -> push (instant ~pid ~tid:cap ~name:"spark-create" ~cat:"spark" ~ts_ns:ts [])
+      | Spark_converted { cap } -> push (instant ~pid ~tid:cap ~name:"spark-run" ~cat:"spark" ~ts_ns:ts [])
+      | Spark_fizzled { cap } -> push (instant ~pid ~tid:cap ~name:"spark-fizzle" ~cat:"spark" ~ts_ns:ts [])
+      | Steal_attempt { thief; victim } ->
+          push
+            (instant ~pid ~tid:thief ~name:"steal-attempt" ~cat:"steal"
+               ~ts_ns:ts
+               [ ("victim", Json.Int victim) ])
+      | Steal_success { thief; victim } ->
+          push
+            (instant ~pid ~tid:thief ~name:"steal" ~cat:"steal" ~ts_ns:ts
+               [ ("victim", Json.Int victim) ])
+      | Future_forced { cap } ->
+          push (instant ~pid ~tid:cap ~name:"force-wait" ~cat:"future" ~ts_ns:ts [])
+      | Custom s -> push (instant ~pid ~tid:0 ~name:s ~cat:"custom" ~ts_ns:ts [])
+      | _ -> ())
+    events;
+  (* close anything the log ended inside of *)
+  Hashtbl.iter
+    (fun (cap, kind) spans ->
+      List.iter
+        (fun sp ->
+          push
+            (slice ~pid ~tid:cap ~name:kind ~cat:"exec" ~ts_ns:sp.start_ns
+               ~dur_ns:(max 0 (last_ts - sp.start_ns))
+               []))
+        spans)
+    open_spans;
+  let meta =
+    metadata ~pid ~tid:0 ~name:"process_name" process_name
+    :: List.init (max 1 ncaps) (fun cap ->
+           metadata ~pid ~tid:cap ~name:"thread_name"
+             (Printf.sprintf "worker %d" cap))
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.rev !out));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+let to_file ?pid ?process_name ~ncaps log path =
+  Json.to_file path (of_eventlog ?pid ?process_name ~ncaps log)

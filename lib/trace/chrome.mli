@@ -1,0 +1,15 @@
+(** Chrome trace-event (Perfetto / [chrome://tracing]) exporter for
+    {!Eventlog} values: one track per capability/worker, span events as
+    complete slices ([ph = "X"]), point events as thread-scoped
+    instants ([ph = "i"]), GC spans in their own category.  Every
+    emitted event carries [ph]/[ts]/[pid]/[tid]; timestamps are
+    microseconds. *)
+
+(** [of_eventlog ~ncaps log] builds the JSON document
+    ([{"traceEvents": [...], ...}]).  [ncaps] sets how many
+    thread-name metadata records are emitted. *)
+val of_eventlog :
+  ?pid:int -> ?process_name:string -> ncaps:int -> Eventlog.t -> Repro_util.Json_out.t
+
+val to_file :
+  ?pid:int -> ?process_name:string -> ncaps:int -> Eventlog.t -> string -> unit

@@ -26,6 +26,22 @@ type event =
   | Message_sent of { src : int; dst : int; bytes : int }
   | Message_delivered of { dst : int; bytes : int }
   | Blackhole_entered of { cap : int }
+  (* Hardware events (lib/exec's Tracer): the per-domain executor
+     records these with monotonic-clock timestamps; caps are worker
+     ids.  Begin/end pairs are spans on the worker's timeline. *)
+  | Steal_attempt of { thief : int; victim : int }
+  | Steal_success of { thief : int; victim : int }
+  | Cap_parked of { cap : int }
+  | Cap_unparked of { cap : int }
+  | Task_begin of { cap : int }
+  | Task_end of { cap : int }
+  | Eval_begin of { cap : int }  (** future claimed; its body runs *)
+  | Eval_end of { cap : int }
+  | Future_forced of { cap : int }  (** forcer demanded an unfinished future *)
+  | Worker_begin of { cap : int }  (** worker loop / [Pool.run] lifetime *)
+  | Worker_end of { cap : int }
+  | Gc_begin of { cap : int; major : bool }  (** per-domain GC span *)
+  | Gc_end of { cap : int; major : bool }
   | Custom of string
 
 let event_name = function
@@ -45,6 +61,19 @@ let event_name = function
   | Message_sent _ -> "message-sent"
   | Message_delivered _ -> "message-delivered"
   | Blackhole_entered _ -> "blackhole-entered"
+  | Steal_attempt _ -> "steal-attempt"
+  | Steal_success _ -> "steal-success"
+  | Cap_parked _ -> "cap-parked"
+  | Cap_unparked _ -> "cap-unparked"
+  | Task_begin _ -> "task-begin"
+  | Task_end _ -> "task-end"
+  | Eval_begin _ -> "eval-begin"
+  | Eval_end _ -> "eval-end"
+  | Future_forced _ -> "future-forced"
+  | Worker_begin _ -> "worker-begin"
+  | Worker_end _ -> "worker-end"
+  | Gc_begin _ -> "gc-begin"
+  | Gc_end _ -> "gc-end"
   | Custom _ -> "custom"
 
 type t = {
@@ -86,6 +115,24 @@ let pp_event ppf = function
   | Message_delivered { dst; bytes } ->
       Format.fprintf ppf "message delivered at %d (%d bytes)" dst bytes
   | Blackhole_entered { cap } -> Format.fprintf ppf "black hole entered on cap %d" cap
+  | Steal_attempt { thief; victim } ->
+      Format.fprintf ppf "cap %d attempts steal from cap %d" thief victim
+  | Steal_success { thief; victim } ->
+      Format.fprintf ppf "cap %d stole from cap %d" thief victim
+  | Cap_parked { cap } -> Format.fprintf ppf "cap %d parked" cap
+  | Cap_unparked { cap } -> Format.fprintf ppf "cap %d unparked" cap
+  | Task_begin { cap } -> Format.fprintf ppf "task begins on cap %d" cap
+  | Task_end { cap } -> Format.fprintf ppf "task ends on cap %d" cap
+  | Eval_begin { cap } -> Format.fprintf ppf "future claimed on cap %d" cap
+  | Eval_end { cap } -> Format.fprintf ppf "future done on cap %d" cap
+  | Future_forced { cap } ->
+      Format.fprintf ppf "cap %d forces an unfinished future" cap
+  | Worker_begin { cap } -> Format.fprintf ppf "worker %d starts" cap
+  | Worker_end { cap } -> Format.fprintf ppf "worker %d stops" cap
+  | Gc_begin { cap; major } ->
+      Format.fprintf ppf "%s gc begins on cap %d" (if major then "major" else "minor") cap
+  | Gc_end { cap; major } ->
+      Format.fprintf ppf "%s gc ends on cap %d" (if major then "major" else "minor") cap
   | Custom s -> Format.pp_print_string ppf s
 
 (** Text dump, one event per line. *)
@@ -118,6 +165,9 @@ let summarise ?ncaps t =
   let lifetimes = Repro_util.Stats.create () in
   let born : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let last_gc_end = ref None and gc_start = ref None in
+  (* hardware per-domain GC spans: keyed by cap *)
+  let hw_gc_start : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let hw_gc_end : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let per_pe =
     match ncaps with Some n -> Some (Array.make n (0, 0)) | None -> None
   in
@@ -139,6 +189,18 @@ let summarise ?ncaps t =
           last_gc_end := Some time;
           (match !gc_start with
           | Some t0 -> Repro_util.Stats.add gc_pauses (float_of_int (time - t0))
+          | None -> ())
+      | Gc_begin { cap; _ } ->
+          Hashtbl.replace hw_gc_start cap time;
+          (match Hashtbl.find_opt hw_gc_end cap with
+          | Some t0 -> Repro_util.Stats.add gc_gaps (float_of_int (time - t0))
+          | None -> ())
+      | Gc_end { cap; _ } -> (
+          Hashtbl.replace hw_gc_end cap time;
+          match Hashtbl.find_opt hw_gc_start cap with
+          | Some t0 ->
+              Repro_util.Stats.add gc_pauses (float_of_int (time - t0));
+              Hashtbl.remove hw_gc_start cap
           | None -> ())
       | Message_sent { src; dst; _ } -> (
           (* [src] can be -1 for protocol replies sent from scheduler
@@ -166,6 +228,75 @@ let summarise ?ncaps t =
     thread_lifetimes_ns = lifetimes;
     messages_per_pe = per_pe;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Timeline projection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Project a hardware event log (Task/Eval/Park/Gc spans recorded by
+    [lib/exec]'s tracer) onto the paper's per-capability state
+    timeline, so the EdenTV-style renderers ({!Render},
+    {!Render_svg}) work on real runs exactly as on simulated ones.
+
+    State priority per cap: [Gc] while inside a GC span, else
+    [Running] while inside a task/eval span, else [Blocked] while
+    parked, else [Runnable] while the worker loop is live, else
+    [Idle]. *)
+let to_trace ~ncaps t =
+  let tr = Trace.create ~caps:(max 1 ncaps) in
+  let in_gc = Array.make ncaps 0
+  and in_run = Array.make ncaps 0
+  and parked = Array.make ncaps false
+  and live = Array.make ncaps 0 in
+  let state_of cap =
+    if in_gc.(cap) > 0 then Trace.Gc
+    else if in_run.(cap) > 0 then Trace.Running
+    else if parked.(cap) then Trace.Blocked
+    else if live.(cap) > 0 then Trace.Runnable
+    else Trace.Idle
+  in
+  let bump arr cap d = if cap >= 0 && cap < ncaps then arr.(cap) <- arr.(cap) + d in
+  let last = ref 0 in
+  List.iter
+    (fun (time, ev) ->
+      last := max !last time;
+      let touch cap =
+        if cap >= 0 && cap < ncaps then
+          Trace.set_state tr ~time ~cap (state_of cap)
+      in
+      match ev with
+      | Task_begin { cap } | Eval_begin { cap } ->
+          bump in_run cap 1;
+          touch cap
+      | Task_end { cap } | Eval_end { cap } ->
+          bump in_run cap (-1);
+          touch cap
+      | Cap_parked { cap } ->
+          if cap >= 0 && cap < ncaps then parked.(cap) <- true;
+          touch cap
+      | Cap_unparked { cap } ->
+          if cap >= 0 && cap < ncaps then parked.(cap) <- false;
+          touch cap
+      | Worker_begin { cap } ->
+          bump live cap 1;
+          touch cap
+      | Worker_end { cap } ->
+          bump live cap (-1);
+          touch cap
+      | Gc_begin { cap; _ } ->
+          bump in_gc cap 1;
+          touch cap
+      | Gc_end { cap; _ } ->
+          bump in_gc cap (-1);
+          touch cap
+      | Steal_success { thief; victim } ->
+          if thief >= 0 && thief < ncaps then
+            Trace.marker tr ~time ~cap:thief
+              (Printf.sprintf "steal<-%d" victim)
+      | _ -> ())
+    (events t);
+  Trace.finish tr ~time:!last;
+  tr
 
 let pp_summary ppf (s : summary) =
   Format.fprintf ppf "@[<v>event counts:@,";

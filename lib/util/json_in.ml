@@ -1,0 +1,262 @@
+(** Minimal JSON parser (the input counterpart of {!Json_out}, no
+    dependencies): parses the machine-readable dumps this repo emits —
+    bench documents, Chrome trace-event files — back into
+    {!Json_out.t} values so post-hoc analyzers ([repro_cli profile])
+    can consume them.
+
+    Accepts standard JSON.  Numbers parse to [Int] when they are exact
+    integers (no fraction, no exponent, within [int] range) and to
+    [Float] otherwise, which round-trips everything {!Json_out}
+    produces. *)
+
+type t = Json_out.t
+
+exception Parse_error of { pos : int; msg : string }
+
+let error pos msg = raise (Parse_error { pos; msg })
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { pos; msg } ->
+        Some (Printf.sprintf "JSON parse error at offset %d: %s" pos msg)
+    | _ -> None)
+
+type state = { src : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+
+let skip_ws s =
+  while
+    s.pos < String.length s.src
+    && match s.src.[s.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    s.pos <- s.pos + 1
+  done
+
+let expect s c =
+  match peek s with
+  | Some d when d = c -> s.pos <- s.pos + 1
+  | Some d -> error s.pos (Printf.sprintf "expected %C, found %C" c d)
+  | None -> error s.pos (Printf.sprintf "expected %C, found end of input" c)
+
+let literal s word value =
+  let n = String.length word in
+  if s.pos + n <= String.length s.src && String.sub s.src s.pos n = word then begin
+    s.pos <- s.pos + n;
+    value
+  end
+  else error s.pos (Printf.sprintf "expected %s" word)
+
+(* UTF-8 encode one scalar value (surrogate pairs are combined by the
+   caller). *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 s =
+  if s.pos + 4 > String.length s.src then error s.pos "truncated \\u escape";
+  let v = ref 0 in
+  for i = s.pos to s.pos + 3 do
+    let d =
+      match s.src.[i] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | c -> error i (Printf.sprintf "bad hex digit %C in \\u escape" c)
+    in
+    v := (!v * 16) + d
+  done;
+  s.pos <- s.pos + 4;
+  !v
+
+let parse_string s =
+  expect s '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if s.pos >= String.length s.src then error s.pos "unterminated string";
+    match s.src.[s.pos] with
+    | '"' -> s.pos <- s.pos + 1
+    | '\\' ->
+        s.pos <- s.pos + 1;
+        (if s.pos >= String.length s.src then error s.pos "truncated escape";
+         let c = s.src.[s.pos] in
+         s.pos <- s.pos + 1;
+         match c with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+             let u = hex4 s in
+             if u >= 0xD800 && u <= 0xDBFF then begin
+               (* high surrogate: require \uDC00-\uDFFF to follow *)
+               if
+                 s.pos + 1 < String.length s.src
+                 && s.src.[s.pos] = '\\'
+                 && s.src.[s.pos + 1] = 'u'
+               then begin
+                 s.pos <- s.pos + 2;
+                 let lo = hex4 s in
+                 if lo < 0xDC00 || lo > 0xDFFF then
+                   error s.pos "invalid low surrogate";
+                 add_utf8 buf
+                   (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+               end
+               else error s.pos "unpaired high surrogate"
+             end
+             else add_utf8 buf u
+         | c -> error (s.pos - 1) (Printf.sprintf "bad escape \\%C" c));
+        go ()
+    | c ->
+        Buffer.add_char buf c;
+        s.pos <- s.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number s =
+  let start = s.pos in
+  let is_int = ref true in
+  (match peek s with Some '-' -> s.pos <- s.pos + 1 | _ -> ());
+  let digits () =
+    let d0 = s.pos in
+    while
+      s.pos < String.length s.src
+      && match s.src.[s.pos] with '0' .. '9' -> true | _ -> false
+    do
+      s.pos <- s.pos + 1
+    done;
+    if s.pos = d0 then error s.pos "expected digit"
+  in
+  digits ();
+  (match peek s with
+  | Some '.' ->
+      is_int := false;
+      s.pos <- s.pos + 1;
+      digits ()
+  | _ -> ());
+  (match peek s with
+  | Some ('e' | 'E') ->
+      is_int := false;
+      s.pos <- s.pos + 1;
+      (match peek s with
+      | Some ('+' | '-') -> s.pos <- s.pos + 1
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub s.src start (s.pos - start) in
+  if !is_int then
+    match int_of_string_opt text with
+    | Some i -> Json_out.Int i
+    | None -> Json_out.Float (float_of_string text)
+  else Json_out.Float (float_of_string text)
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> error s.pos "unexpected end of input"
+  | Some '{' ->
+      s.pos <- s.pos + 1;
+      skip_ws s;
+      if peek s = Some '}' then begin
+        s.pos <- s.pos + 1;
+        Json_out.Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws s;
+          let key = parse_string s in
+          skip_ws s;
+          expect s ':';
+          let v = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              s.pos <- s.pos + 1;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              s.pos <- s.pos + 1;
+              List.rev ((key, v) :: acc)
+          | _ -> error s.pos "expected ',' or '}' in object"
+        in
+        Json_out.Obj (members [])
+      end
+  | Some '[' ->
+      s.pos <- s.pos + 1;
+      skip_ws s;
+      if peek s = Some ']' then begin
+        s.pos <- s.pos + 1;
+        Json_out.List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              s.pos <- s.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              s.pos <- s.pos + 1;
+              List.rev (v :: acc)
+          | _ -> error s.pos "expected ',' or ']' in array"
+        in
+        Json_out.List (elements [])
+      end
+  | Some '"' -> Json_out.Str (parse_string s)
+  | Some 't' -> literal s "true" (Json_out.Bool true)
+  | Some 'f' -> literal s "false" (Json_out.Bool false)
+  | Some 'n' -> literal s "null" Json_out.Null
+  | Some ('-' | '0' .. '9') -> parse_number s
+  | Some c -> error s.pos (Printf.sprintf "unexpected character %C" c)
+
+let parse src =
+  let s = { src; pos = 0 } in
+  let v = parse_value s in
+  skip_ws s;
+  if s.pos <> String.length src then error s.pos "trailing garbage after value";
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ---------------- accessors ---------------- *)
+
+let member key = function
+  | Json_out.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Json_out.List xs -> Some xs | _ -> None
+let to_string = function Json_out.Str s -> Some s | _ -> None
+
+let to_float = function
+  | Json_out.Int i -> Some (float_of_int i)
+  | Json_out.Float f -> Some f
+  | _ -> None
+
+let to_int = function
+  | Json_out.Int i -> Some i
+  | Json_out.Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None

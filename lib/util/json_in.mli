@@ -1,0 +1,29 @@
+(** Minimal JSON parser: reads the documents {!Json_out} writes (bench
+    dumps, Chrome trace-event files) back into {!Json_out.t} values.
+    Numbers become [Int] when they are exact in-range integers, [Float]
+    otherwise. *)
+
+type t = Json_out.t
+
+exception Parse_error of { pos : int; msg : string }
+
+(** @raise Parse_error on malformed input (including trailing
+    garbage). *)
+val parse : string -> t
+
+(** @raise Parse_error on malformed input.
+    @raise Sys_error if [path] cannot be read. *)
+val of_file : string -> t
+
+(** [member key json] is the value bound to [key] when [json] is an
+    object containing it. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_string : t -> string option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+(** Accepts [Int] and integer-valued [Float]. *)
+val to_int : t -> int option

@@ -20,4 +20,5 @@ let () =
       Test_gum.suite;
       Test_experiments.suite;
       Test_analysis.suite;
+      Test_tracer.suite;
     ]

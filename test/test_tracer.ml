@@ -1,0 +1,274 @@
+(** Tests for the hardware eventlog pipeline: tracer ring buffers,
+    merge into [Repro_trace.Eventlog], Chrome trace-event export, the
+    JSON parser it round-trips through, and the profile report. *)
+
+module Tracer = Repro_exec.Tracer
+module Pool = Repro_exec.Pool
+module Profile = Repro_exec.Profile
+module Eventlog = Repro_trace.Eventlog
+module Chrome = Repro_trace.Chrome
+module Json_in = Repro_util.Json_in
+module Json_out = Repro_util.Json_out
+
+let test_case = Alcotest.test_case
+let check = Alcotest.check
+
+(* ---------------- ring buffer semantics ---------------- *)
+
+let wraparound_keeps_most_recent () =
+  (* capacity 16, 100 events: the ring must hold exactly the last 16,
+     in order, and account for the 84 overwritten ones *)
+  let tr = Tracer.create ~capacity:16 ~gc_events:false ~ncaps:1 () in
+  Tracer.enable tr;
+  let b = Tracer.buffer tr 0 in
+  for i = 0 to 99 do
+    Tracer.record b Tracer.Steal_attempt ~arg:i
+  done;
+  Tracer.disable tr;
+  check Alcotest.int "recorded caps at capacity" 16 (Tracer.recorded tr);
+  check Alcotest.(array int) "dropped oldest 84" [| 84 |] (Tracer.dropped tr);
+  let args =
+    List.filter_map
+      (fun (_, e) ->
+        match e with
+        | Eventlog.Steal_attempt { victim; _ } -> Some victim
+        | _ -> None)
+      (Eventlog.events (Tracer.to_eventlog tr))
+  in
+  check Alcotest.(list int) "last 16 sequence numbers survive, in order"
+    (List.init 16 (fun i -> 84 + i))
+    args
+
+let disabled_records_nothing () =
+  let tr = Tracer.create ~capacity:16 ~gc_events:false ~ncaps:2 () in
+  let b = Tracer.buffer tr 1 in
+  Tracer.record b Tracer.Spark_create ~arg:0;
+  Tracer.enable tr;
+  Tracer.disable tr;
+  Tracer.record b Tracer.Spark_create ~arg:0;
+  (* null_buffer swallows everything even while enabled *)
+  Tracer.record Tracer.null_buffer Tracer.Spark_create ~arg:0;
+  check Alcotest.int "nothing recorded" 0 (Tracer.recorded tr)
+
+let merged_timestamps_monotone () =
+  (* interleave writes into two rings; the merged log must be sorted *)
+  let tr = Tracer.create ~capacity:64 ~gc_events:false ~ncaps:2 () in
+  Tracer.enable tr;
+  let b0 = Tracer.buffer tr 0 and b1 = Tracer.buffer tr 1 in
+  for i = 0 to 49 do
+    Tracer.record (if i mod 3 = 0 then b1 else b0) Tracer.Spark_create ~arg:i
+  done;
+  Tracer.disable tr;
+  let times = List.map fst (Eventlog.events (Tracer.to_eventlog tr)) in
+  check Alcotest.int "all events merged" 50 (List.length times);
+  List.iter (fun t -> check Alcotest.bool "time >= 0" true (t >= 0)) times;
+  ignore
+    (List.fold_left
+       (fun prev t ->
+         check Alcotest.bool "non-decreasing" true (t >= prev);
+         t)
+       min_int times)
+
+(* ---------------- traced pool runs ---------------- *)
+
+let spark_some_work () =
+  let module S = Repro_exec.Strategies in
+  let xs = List.init 64 (fun i -> i) in
+  List.fold_left ( + ) 0 (S.par_map (fun x -> x * x) xs)
+
+let traced_run ?(cores = 2) ?(gc = false) () =
+  let tr = Tracer.create ~gc_events:true ~ncaps:cores () in
+  Tracer.enable tr;
+  let p = Pool.create ~cores ~tracer:tr () in
+  let v =
+    Pool.run p (fun () ->
+        let v = spark_some_work () in
+        if gc then begin
+          (* land minor+major GC spans inside the traced window *)
+          ignore (Sys.opaque_identity (Array.init 100_000 (fun i -> Some i)));
+          Gc.minor ();
+          Gc.full_major ()
+        end;
+        v)
+  in
+  Pool.shutdown p;
+  Tracer.disable tr;
+  check Alcotest.int "result" (List.fold_left ( + ) 0 (List.init 64 (fun i -> i * i))) v;
+  (tr, p)
+
+let ledger_balances_with_tracing_on () =
+  let _, p = traced_run () in
+  let e = Pool.events p in
+  check Alcotest.int "created = run + fizzled" e.Pool.sparks_created
+    (e.Pool.sparks_run + e.Pool.sparks_fizzled);
+  let per = Pool.worker_events p in
+  check Alcotest.int "two worker rows" 2 (Array.length per);
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 per in
+  check Alcotest.int "rows sum to total (created)" e.Pool.sparks_created
+    (sum (fun (w : Pool.events) -> w.Pool.sparks_created));
+  check Alcotest.int "rows sum to total (run)" e.Pool.sparks_run
+    (sum (fun (w : Pool.events) -> w.Pool.sparks_run))
+
+let tracer_undersized_rejected () =
+  let tr = Tracer.create ~gc_events:false ~ncaps:1 () in
+  Alcotest.check_raises "pool wider than tracer"
+    (Invalid_argument
+       "Pool.create: tracer has 1 buffer(s) but the pool wants 2")
+    (fun () -> ignore (Pool.create ~cores:2 ~tracer:tr ()))
+
+(* ---------------- Chrome export ---------------- *)
+
+let chrome_shape () =
+  let tr, _ = traced_run ~gc:true () in
+  let log = Tracer.to_eventlog tr in
+  let doc = Chrome.of_eventlog ~ncaps:2 log in
+  (* round-trip through the serializer and parser: the file a user
+     loads in Perfetto is exactly this string *)
+  let parsed = Json_in.parse (Json_out.to_string doc) in
+  let events =
+    match Option.bind (Json_in.member "traceEvents" parsed) Json_in.to_list with
+    | Some evs -> evs
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  check Alcotest.bool "has events" true (List.length events > 0);
+  let slices_per_tid = Hashtbl.create 4 in
+  let saw_gc = ref false in
+  List.iter
+    (fun ev ->
+      let str k = Option.bind (Json_in.member k ev) Json_in.to_string in
+      (* every event carries the four required keys *)
+      let ph = match str "ph" with Some p -> p | None -> Alcotest.fail "missing ph" in
+      (match Option.bind (Json_in.member "ts" ev) Json_in.to_float with
+      | Some ts -> check Alcotest.bool "ts >= 0" true (ts >= 0.0)
+      | None -> Alcotest.fail "missing ts");
+      (match Option.bind (Json_in.member "pid" ev) Json_in.to_int with
+      | Some _ -> ()
+      | None -> Alcotest.fail "missing pid");
+      let tid =
+        match Option.bind (Json_in.member "tid" ev) Json_in.to_int with
+        | Some t -> t
+        | None -> Alcotest.fail "missing tid"
+      in
+      if ph = "X" then begin
+        Hashtbl.replace slices_per_tid tid
+          (1 + Option.value ~default:0 (Hashtbl.find_opt slices_per_tid tid));
+        (match Option.bind (Json_in.member "dur" ev) Json_in.to_float with
+        | Some d -> check Alcotest.bool "dur >= 0" true (d >= 0.0)
+        | None -> Alcotest.fail "slice missing dur");
+        match str "name" with
+        | Some n when String.length n >= 3 && String.sub n 0 3 = "gc:" ->
+            saw_gc := true
+        | _ -> ()
+      end)
+    events;
+  (* at least one slice on every domain's track *)
+  for tid = 0 to 1 do
+    check Alcotest.bool
+      (Printf.sprintf "worker %d has a slice" tid)
+      true
+      (Option.value ~default:0 (Hashtbl.find_opt slices_per_tid tid) > 0)
+  done;
+  check Alcotest.bool "GC spans from Runtime_events on the timeline" true !saw_gc
+
+let eventlog_to_trace_renders () =
+  let tr, _ = traced_run () in
+  let log = Tracer.to_eventlog tr in
+  let trace = Eventlog.to_trace ~ncaps:2 log in
+  let path = Filename.temp_file "repro_hw_trace" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Repro_trace.Render_svg.to_file ~title:"test" trace path;
+      let ic = open_in path in
+      let head = really_input_string ic (min 64 (in_channel_length ic)) in
+      close_in ic;
+      check Alcotest.bool "SVG written" true
+        (String.length head > 4 && String.sub head 0 4 = "<svg"))
+
+(* ---------------- profile ---------------- *)
+
+let profile_report_sane () =
+  let tr, _ = traced_run ~gc:true () in
+  let log = Tracer.to_eventlog tr in
+  let r = Profile.analyze (Profile.of_eventlog ~ncaps:2 log) in
+  check Alcotest.bool "wall > 0" true (r.Profile.wall_us > 0.0);
+  check Alcotest.bool "has worker rows" true (List.length r.Profile.workers > 0);
+  List.iter
+    (fun (w : Profile.worker_row) ->
+      check Alcotest.bool "util in [0,100]" true
+        (w.Profile.util_pct >= 0.0 && w.Profile.util_pct <= 100.0);
+      check Alcotest.bool "busy <= wall" true (w.Profile.busy_us <= r.Profile.wall_us +. 1.0))
+    r.Profile.workers;
+  check Alcotest.bool "spark granularity observed" true
+    (r.Profile.spark_granularity.Profile.count > 0);
+  (* the report renders *)
+  check Alcotest.bool "report nonempty" true
+    (String.length (Profile.to_string r) > 0)
+
+(* ---------------- Json_in ---------------- *)
+
+let json_in_roundtrip () =
+  let doc =
+    Json_out.Obj
+      [
+        ("s", Json_out.Str "a\"b\\c\ntab\t");
+        ("i", Json_out.Int (-42));
+        ("f", Json_out.Float 1.5);
+        ("b", Json_out.Bool true);
+        ("nil", Json_out.Null);
+        ("xs", Json_out.List [ Json_out.Int 1; Json_out.Int 2 ]);
+        ("o", Json_out.Obj [ ("k", Json_out.Str "v") ]);
+      ]
+  in
+  let p = Json_in.parse (Json_out.to_string doc) in
+  check Alcotest.(option string) "string escapes" (Some "a\"b\\c\ntab\t")
+    (Option.bind (Json_in.member "s" p) Json_in.to_string);
+  check Alcotest.(option int) "int" (Some (-42))
+    (Option.bind (Json_in.member "i" p) Json_in.to_int);
+  check Alcotest.(option (float 1e-9)) "float" (Some 1.5)
+    (Option.bind (Json_in.member "f" p) Json_in.to_float);
+  check Alcotest.(option int) "list length" (Some 2)
+    (Option.map List.length (Option.bind (Json_in.member "xs" p) Json_in.to_list));
+  check Alcotest.(option string) "nested" (Some "v")
+    (Option.bind
+       (Option.bind (Json_in.member "o" p) (Json_in.member "k"))
+       Json_in.to_string)
+
+let json_in_rejects_garbage () =
+  let fails s =
+    match Json_in.parse s with
+    | _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+    | exception Json_in.Parse_error _ -> ()
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails "{\"a\":1} trailing";
+  fails "\"unterminated";
+  fails "nul"
+
+let json_in_unicode () =
+  (* \u escapes incl. a surrogate pair -> UTF-8 bytes *)
+  let p = Json_in.parse {|"Aé😀"|} in
+  check Alcotest.(option string) "utf8" (Some "A\xc3\xa9\xf0\x9f\x98\x80")
+    (Json_in.to_string p)
+
+let suite =
+  ( "tracer",
+    [
+      test_case "ring wrap-around keeps most recent events" `Quick
+        wraparound_keeps_most_recent;
+      test_case "disabled tracer records nothing" `Quick disabled_records_nothing;
+      test_case "merged timestamps are monotone" `Quick merged_timestamps_monotone;
+      test_case "created = run + fizzled with tracing on" `Quick
+        ledger_balances_with_tracing_on;
+      test_case "pool rejects undersized tracer" `Quick tracer_undersized_rejected;
+      test_case "Chrome JSON shape (ph/ts/pid/tid, slices, GC)" `Quick
+        chrome_shape;
+      test_case "hardware eventlog renders via Trace/SVG" `Quick
+        eventlog_to_trace_renders;
+      test_case "profile report is sane" `Quick profile_report_sane;
+      test_case "json_in round-trips json_out" `Quick json_in_roundtrip;
+      test_case "json_in rejects malformed input" `Quick json_in_rejects_garbage;
+      test_case "json_in decodes unicode escapes" `Quick json_in_unicode;
+    ] )
