@@ -155,6 +155,237 @@ let sim_vs_real () =
   Printf.printf "\nwrote BENCH_exec.json (%d measurements)\n"
     (List.length all_measurements)
 
+(* ------------------------------------------------------------------ *)
+(* Part 1b': Eden-style processes vs GpH-style domains                 *)
+(* ------------------------------------------------------------------ *)
+
+module Dist_workload = Repro_dist.Workload
+module Dist_measure = Repro_dist.Measure
+
+(* The paper's central comparison, measured rather than simulated: the
+   same five kernels on the distributed-heap backend (one process per
+   PE, private heaps and GCs, framed socketpair messages) and on the
+   shared-heap backend (domains + work stealing).  Both run at the
+   same sizes and the same PE ladder and both must reproduce the
+   sequential checksum bit-for-bit. *)
+let eden_vs_gph () =
+  hr "Eden-style processes vs GpH-style domains (measured, this machine)";
+  let hw = Domain.recommended_domain_count () in
+  let ladder = Exec_harness.core_counts_up_to (max 4 (min hw 8)) in
+  if List.exists (fun c -> c > hw) ladder then
+    Printf.printf
+      "note: %d hardware core(s) — points beyond %d are oversubscribed\n" hw hw;
+  let repeats = if quick then 2 else 3 in
+  let dist_ms, exec_ms =
+    List.fold_left
+      (fun (dacc, eacc) (module D : Dist_workload.S) ->
+        let (module W) =
+          List.find
+            (fun (module W : Exec_workload.S) -> W.name = D.name)
+            Exec_workload.all
+        in
+        let size = if quick then D.quick_size else D.default_size in
+        let reference = D.reference ~size in
+        let dms =
+          Dist_measure.sweep ~repeats ~procs_list:ladder ~size (module D)
+        in
+        let ems =
+          Exec_harness.sweep ~repeats ~cores_list:ladder ~size (module W)
+        in
+        List.iter
+          (fun (m : Dist_measure.measurement) ->
+            if m.result <> reference then
+              failwith
+                (Printf.sprintf "%s procs=%d: checksum mismatch" D.name m.procs))
+          dms;
+        List.iter
+          (fun (m : Exec_harness.measurement) ->
+            if m.result <> reference then
+              failwith
+                (Printf.sprintf "%s cores=%d: checksum mismatch" W.name m.cores))
+          ems;
+        Printf.printf "\n-- %s, size %d (%s): both backends, checksum %d --\n"
+          D.name size D.size_doc reference;
+        let t =
+          Repro_util.Tablefmt.create
+            ~aligns:
+              (Repro_util.Tablefmt.Left
+              :: List.map (fun _ -> Repro_util.Tablefmt.Right) ladder)
+            ("speedup" :: List.map string_of_int ladder)
+        in
+        Repro_util.Tablefmt.add_row t
+          ("processes (Eden/GUM)"
+          :: List.map
+               (fun (m : Dist_measure.measurement) ->
+                 Printf.sprintf "%.2f" m.speedup)
+               dms);
+        Repro_util.Tablefmt.add_row t
+          ("domains (GpH)"
+          :: List.map
+               (fun (m : Exec_harness.measurement) ->
+                 Printf.sprintf "%.2f" m.speedup)
+               ems);
+        Repro_util.Tablefmt.print t;
+        Printf.printf "per-process-count detail (Eden side):\n";
+        Repro_util.Tablefmt.print (Dist_measure.to_table dms);
+        (dacc @ dms, eacc @ ems))
+      ([], []) Dist_workload.all
+  in
+  Repro_util.Json_out.to_file "BENCH_dist.json"
+    (Repro_util.Json_out.Obj
+       [
+         ("schema", Repro_util.Json_out.Str "repro/bench-dist/v1");
+         ( "env",
+           Repro_util.Json_out.Obj
+             (Exec_harness.env_header ~backend:"processes"
+                ~transport:"socketpair" ()) );
+         ( "measurements",
+           Repro_util.Json_out.List
+             (List.map Dist_measure.json_of_measurement dist_ms) );
+         ( "domains_baseline",
+           Repro_util.Json_out.Obj
+             [
+               ( "env",
+                 Repro_util.Json_out.Obj
+                   (Exec_harness.env_header ~backend:"domains" ()) );
+               ( "measurements",
+                 Repro_util.Json_out.List
+                   (List.map Exec_harness.json_of_measurement exec_ms) );
+             ] );
+       ]);
+  Printf.printf
+    "\nwrote BENCH_dist.json (%d process measurements + %d domain baselines)\n"
+    (List.length dist_ms) (List.length exec_ms)
+
+(* ------------------------------------------------------------------ *)
+(* Part 1b'': transport calibration                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Repro_dist.Wire
+
+let now_ns () = Repro_dist.Clock.now_ns ()
+
+(* Echo server for the calibration: bounce every message back until
+   the parent closes the socket. *)
+let transport_echo_child () =
+  let conn = Wire.create ~read_fd:Unix.stdin ~write_fd:Unix.stdout () in
+  (try
+     while true do
+       Wire.send conn (Wire.recv conn)
+     done
+   with End_of_file -> ());
+  exit 0
+
+let with_echo_child f =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec parent_fd;
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--transport-echo" |]
+      child_fd child_fd Unix.stderr
+  in
+  Unix.close child_fd;
+  let conn = Wire.create ~read_fd:parent_fd ~write_fd:parent_fd () in
+  let r = f conn in
+  Wire.close conn;
+  ignore (Unix.waitpid [] pid);
+  r
+
+(* Calibrate a [Transport.measured] profile from this machine:
+   socketpair round-trips give latency / per-message / per-byte wire
+   costs, a Marshal micro-benchmark gives pack/unpack throughput.
+   This is the measured analogue of the modelled pvm/mpi/shm
+   profiles. *)
+let transport_calibration () =
+  hr "Transport calibration: socketpair + Marshal, vs modelled profiles";
+  let profile =
+    with_echo_child (fun conn ->
+        let round_trip payload n =
+          let t0 = now_ns () in
+          for _ = 1 to n do
+            Wire.send conn payload;
+            ignore (Wire.recv conn)
+          done;
+          (now_ns () - t0) / n
+        in
+        (* warm-up: page in both processes' paths *)
+        ignore (round_trip "x" 200);
+        let small_rt = round_trip "x" (if quick then 500 else 3000) in
+        let big_bytes = 1 lsl 20 in
+        let big_rt =
+          round_trip (String.make big_bytes 'y') (if quick then 10 else 50)
+        in
+        (* send-side fixed overhead: back-to-back sends.  The burst
+           must stay well under the socket buffer in {e kernel skb
+           accounting} terms (~1 KiB per tiny send, not 6 bytes) on
+           both directions at once, since the echoes are only drained
+           afterwards — 100 is safely inside the default 208 KiB. *)
+        let burst = 100 in
+        let t0 = now_ns () in
+        for _ = 1 to burst do
+          Wire.send conn "x"
+        done;
+        let per_message_ns = (now_ns () - t0) / burst in
+        for _ = 1 to burst do
+          ignore (Wire.recv conn)
+        done;
+        let latency_ns = max 0 ((small_rt / 2) - per_message_ns) in
+        let wire_ns_per_byte =
+          max 0.0
+            (float_of_int (big_rt - small_rt)
+            /. 2.0
+            /. float_of_int big_bytes)
+        in
+        (* Marshal throughput on a representative flat payload *)
+        let arr = Array.init (128 * 1024) float_of_int in
+        let s = Marshal.to_string arr [] in
+        let bytes = String.length s in
+        let reps = if quick then 20 else 100 in
+        let t0 = now_ns () in
+        for _ = 1 to reps do
+          ignore (Marshal.to_string arr [])
+        done;
+        let pack_ns_per_byte =
+          float_of_int (now_ns () - t0) /. float_of_int reps /. float_of_int bytes
+        in
+        let t0 = now_ns () in
+        for _ = 1 to reps do
+          ignore (Marshal.from_string s 0 : float array)
+        done;
+        let unpack_ns_per_byte =
+          float_of_int (now_ns () - t0) /. float_of_int reps /. float_of_int bytes
+        in
+        Repro_mp.Transport.measured ~latency_ns ~per_message_ns
+          ~wire_ns_per_byte ~pack_ns_per_byte ~unpack_ns_per_byte
+          ~packet_bytes:Wire.default_packet_bytes ())
+  in
+  let t =
+    Repro_util.Tablefmt.create
+      ~aligns:
+        Repro_util.Tablefmt.[ Left; Right; Right; Right; Right; Right; Right ]
+      [
+        "profile"; "latency ns"; "per-msg ns"; "wire ns/B"; "pack ns/B";
+        "unpack ns/B"; "packet B";
+      ]
+  in
+  List.iter
+    (fun (p : Repro_mp.Transport.t) ->
+      Repro_util.Tablefmt.add_row t
+        [
+          p.name;
+          string_of_int p.latency_ns;
+          string_of_int p.per_message_ns;
+          Printf.sprintf "%.3f" p.wire_ns_per_byte;
+          Printf.sprintf "%.3f" p.pack_ns_per_byte;
+          Printf.sprintf "%.3f" p.unpack_ns_per_byte;
+          string_of_int p.packet_bytes;
+        ])
+    (Repro_mp.Transport.all @ [ profile ]);
+  Repro_util.Tablefmt.print t;
+  Printf.printf
+    "(measured = this machine's socketpair + Marshal; modelled rows are the \
+     paper-era middleware profiles)\n"
+
 (* Machine-readable dump of the existing Fig. 1 reproduction numbers,
    next to the paper's reported seconds. *)
 let dump_fig1_json (r : E.Fig1.result) =
@@ -173,7 +404,7 @@ let dump_fig1_json (r : E.Fig1.result) =
   Repro_util.Json_out.to_file "BENCH_repro.json"
     (Repro_util.Json_out.Obj
        (("schema", Repro_util.Json_out.Str "repro/bench-repro/v1")
-        :: Exec_harness.env_header ()
+        :: Exec_harness.env_header ~backend:"simulator" ()
        @ [
            ("figure", Repro_util.Json_out.Str "fig1");
            ("n", Repro_util.Json_out.Int r.n);
@@ -480,9 +711,15 @@ let benchmark () =
     tests
 
 let () =
+  (* dist-worker hook first: when the eden-vs-gph section re-executes
+     this binary as a PE, it must not run the harness *)
+  Repro_dist.Worker.maybe_run Sys.argv;
   let argv = Array.to_list Sys.argv in
-  if List.mem "--minor-heap-child" argv then minor_heap_child ()
+  if List.mem "--transport-echo" argv then transport_echo_child ()
+  else if List.mem "--minor-heap-child" argv then minor_heap_child ()
   else if List.mem "--minor-heap" argv then minor_heap_sweep ()
+  else if List.mem "--transport" argv then transport_calibration ()
+  else if List.mem "--eden-vs-gph" argv then eden_vs_gph ()
   else begin
     Printf.printf
       "Reproduction harness: 'Comparing and Optimising Parallel Haskell \
@@ -495,5 +732,7 @@ let () =
     reproduce_fig4 ();
     reproduce_fig5 ();
     sim_vs_real ();
+    eden_vs_gph ();
+    transport_calibration ();
     benchmark ()
   end

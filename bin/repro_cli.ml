@@ -435,6 +435,149 @@ let exec_cmd =
       const run $ workload $ cores $ size $ repeat $ sweep_flag $ json_file
       $ exec_events $ trace_file $ trace_svg $ quick $ out_file)
 
+(* ---------------- dist: multi-process (Eden/GUM) execution ---------------- *)
+
+let dist_cmd =
+  let module Workload = Repro_dist.Workload in
+  let module Measure = Repro_dist.Measure in
+  let workload =
+    let doc =
+      Printf.sprintf "Workload: %s." (String.concat ", " Workload.names)
+    in
+    let workload_conv =
+      Arg.enum
+        (List.map
+           (fun (module W : Workload.S) -> (W.name, (module W : Workload.S)))
+           Workload.all)
+    in
+    Arg.(
+      value
+      & opt workload_conv (List.hd Workload.all)
+      & info [ "workload"; "w" ] ~doc ~docv:"WORKLOAD")
+  in
+  let procs =
+    let doc = "Number of worker processes (default: all hardware cores)." in
+    Arg.(value & opt (some int) None & info [ "procs"; "p" ] ~doc ~docv:"N")
+  in
+  let size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size"; "n" ] ~doc:"Problem size (workload-specific)." ~docv:"S")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat"; "r" ] ~doc:"Timed runs per process count." ~docv:"R")
+  in
+  let sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Measure at 1, 2, 4, ... up to $(b,--procs) processes (instead \
+             of just 1 and $(b,--procs)).")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write measurements as JSON to $(docv)."
+          ~docv:"FILE")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ]
+          ~doc:
+            "Also run once at $(b,--procs) processes with per-task tracing \
+             and write a Chrome trace-event timeline to $(docv): one track \
+             per PE plus the coordinator, with pack/unpack/exec and \
+             cross-process wire spans (load in Perfetto or \
+             chrome://tracing)."
+          ~docv:"FILE.json")
+  in
+  let run (module W : Workload.S) procs size repeat sweep_flag json_file
+      trace_file quick out =
+    let hw = Domain.recommended_domain_count () in
+    let procs = match procs with Some p -> max 1 p | None -> hw in
+    let size =
+      match size with
+      | Some s ->
+          if s < 0 then begin
+            Printf.eprintf "repro-cli: dist: --size must be >= 0 (got %d)\n" s;
+            exit 2
+          end;
+          s
+      | None -> if quick then W.quick_size else W.default_size
+    in
+    let procs_list =
+      if sweep_flag then Repro_exec.Harness.core_counts_up_to procs
+      else if procs = 1 then [ 1 ]
+      else [ 1; procs ]
+    in
+    let reference = W.reference ~size in
+    let ms = Measure.sweep ~repeats:repeat ~procs_list ~size (module W) in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "distributed execution (one process per PE, socketpair transport): \
+          %s, size %d (%s)\n\
+          %d hardware core(s), %d timed run(s) per point\n"
+         W.name size W.size_doc hw repeat);
+    Buffer.add_string buf (Repro_util.Tablefmt.to_string (Measure.to_table ms));
+    List.iter
+      (fun (m : Measure.measurement) ->
+        if m.result <> reference then
+          failwith
+            (Printf.sprintf
+               "%s at %d procs: result %d differs from sequential reference %d"
+               W.name m.procs m.result reference))
+      ms;
+    Buffer.add_string buf
+      (Printf.sprintf "result checksum %d matches the sequential reference\n"
+         reference);
+    (match List.rev ms with
+    | (last : Measure.measurement) :: _ :: _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "speedup at %d procs vs 1 proc: %.2fx\n" last.procs
+             last.speedup)
+    | _ -> ());
+    (match json_file with
+    | Some path ->
+        let header =
+          Repro_exec.Harness.env_header ~backend:"processes"
+            ~transport:"socketpair" ()
+        in
+        Repro_util.Json_out.to_file path (Measure.json_document ~header ms);
+        Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
+    | None -> ());
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+        let o = Repro_dist.Farm.run ~trace:true ~procs ~size (module W) in
+        if o.Repro_dist.Farm.result <> reference then
+          failwith "traced run: result differs from sequential reference";
+        Repro_dist.Timeline.write_chrome ~procs ~path o;
+        let nspans = List.length (Repro_dist.Timeline.of_outcome o) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "wrote %s (%d spans across %d PE tracks + coordinator)\n" path
+             nspans procs));
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "dist"
+       ~doc:
+         "Run a workload on the multi-process Eden/GUM-style backend (one \
+          worker process per PE, private heaps, framed socketpair messages, \
+          FISH/SCHEDULE demand scheduling) and report wall-clock speedups \
+          plus message/byte/GC counters")
+    Term.(
+      const run $ workload $ procs $ size $ repeat $ sweep_flag $ json_file
+      $ trace_file $ quick $ out_file)
+
 (* ---------------- profile: post-hoc trace analysis ---------------- *)
 
 let profile_cmd =
@@ -705,10 +848,15 @@ let main =
       fig5_cmd;
       run_cmd;
       exec_cmd;
+      dist_cmd;
       profile_cmd;
       analyze_cmd;
       check_cmd;
       all_cmd;
     ]
 
+(* Worker-mode hook: when re-executed by the dist coordinator this
+   process must become a PE, not parse a command line.  Must run
+   before Cmd.eval. *)
+let () = Repro_dist.Worker.maybe_run Sys.argv
 let () = exit (Cmd.eval main)

@@ -137,9 +137,16 @@ let is_syntactic_fun e =
    bodies mutate state they do not own (one level of indirection: this
    is what surfaces [rows_kernel]-style in-place kernels). *)
 
+(* [submit] and [farm] cover the distributed executor's entry points
+   ([Dist.submit]-style task submission, [Farm.farm] closures): their
+   payloads cross a process boundary, so the purity obligations are
+   strictly stronger than for shared-heap sparks. *)
 let spark_entry_names =
   SSet.of_list
-    [ "par"; "spark"; "submit"; "par_list"; "par_map"; "par_chunked"; "par_range" ]
+    [
+      "par"; "spark"; "submit"; "farm"; "par_list"; "par_map"; "par_chunked";
+      "par_range";
+    ]
 
 let is_spark_entry fn =
   match expr_ident fn with
@@ -266,6 +273,15 @@ let rec purity_walk ~check_raise ~impure_helpers ~emit env e =
   | Pexp_setinstvar (_, v) ->
       emit e.pexp_loc "instance-variable assignment inside a sparked closure";
       walk env v
+  | Pexp_lazy inner ->
+      (* Eden rule: only whole normal forms cross the heap boundary.
+         A lazy value inside a sparked/farmed closure is a thunk that
+         would be forced on the evaluating PE (or marshalled not at
+         all), so the payload is not fully forced before send. *)
+      emit e.pexp_loc
+        "lazy value constructed inside a sparked closure: payloads must be \
+         fully forced before they are sent";
+      walk env inner
   | Pexp_apply (fn, args) ->
       let arg_exprs = List.map snd args in
       (match expr_ident fn with

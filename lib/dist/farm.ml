@@ -1,0 +1,333 @@
+(** Coordinator of the distributed executor: spawns one worker process
+    per PE, connects each over a socketpair, and drives barrier rounds
+    of tasks with GUM-style demand scheduling.
+
+    Placement is round-robin for the initial dispatch (each PE is
+    primed with {!prefetch} tasks, Eden's master-worker prefetch);
+    afterwards work moves on demand — an idle PE sends [Fish] and the
+    coordinator answers with a [Schedule] or [No_work] (paper
+    Sec. III-B).  Pinned rounds (APSP) bypass demand scheduling: task
+    [i] always goes to PE [i mod procs], because the PE holds the
+    matching resident state.
+
+    The coordinator keeps an exactly-once ledger per round: a result
+    for an unknown task, the wrong round, or an already-filled slot is
+    a hard failure, not a silent overwrite. *)
+
+type link = {
+  pe : int;
+  pid : int;
+  conn : Wire.conn;
+  mutable outstanding : int;  (** scheduled but not yet returned *)
+}
+
+type counts = {
+  mutable rounds : int;
+  mutable tasks : int;
+  mutable schedules : int;
+  mutable fishes : int;
+  mutable no_works : int;
+}
+
+(** Coordinator-side timing of one [Schedule] send; with the worker's
+    receive timestamp (same monotonic timebase) this bounds the wire
+    span. *)
+type sched_span = {
+  sp_task_id : int;
+  sp_pe : int;
+  sp_round : int;
+  send_start_ns : int;
+  send_done_ns : int;
+}
+
+type pe_report = {
+  rep_pe : int;
+  rep_pid : int;
+  stats : Message.worker_stats;  (** the PE's own view *)
+  co : Wire.counters;  (** the coordinator's view of the same link *)
+}
+
+type outcome = {
+  result : int;
+  procs : int;
+  rounds : int;
+  tasks : int;
+  schedules : int;
+  fishes : int;
+  no_works : int;
+  reports : pe_report array;
+  sched_spans : sched_span list;  (** newest first; [] unless traced *)
+  coord_pack_ns : int;  (** task payload marshalling on the coordinator *)
+  coord_unpack_ns : int;  (** result payload unmarshalling *)
+  work_ns : int;  (** first dispatch to final [step]; excludes spawn *)
+  spawn_ns : int;  (** process creation + handshakes *)
+}
+
+(** How many tasks each PE is primed with before demand scheduling
+    takes over: one executing, one in flight. *)
+let prefetch = 2
+
+let spawn ?(packet_bytes = Wire.default_packet_bytes) ~worker_argv ~procs ~mode
+    ~trace pe =
+  let parent_fd, child_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  (* Later children must not inherit this link, or a dead worker's
+     EOF would never reach us. *)
+  Unix.set_close_on_exec parent_fd;
+  let pid =
+    Unix.create_process worker_argv.(0) worker_argv child_fd Unix.stdout
+      Unix.stderr
+  in
+  Unix.close child_fd;
+  let conn = Wire.create ~packet_bytes ~read_fd:parent_fd ~write_fd:parent_fd () in
+  Message.send_hello conn { Message.pe; procs; mode; trace };
+  { pe; pid; conn; outstanding = 0 }
+
+let kill_all links =
+  Array.iter
+    (fun l ->
+      (try Unix.kill l.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try Wire.close l.conn with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] l.pid) with Unix.Unix_error _ -> ())
+    links
+
+(* ---------------- one barrier round ---------------- *)
+
+(* Drive [payloads] (pre-marshalled tasks) to completion, returning
+   the marshalled results in task order.  [id0] makes task ids
+   globally unique across rounds. *)
+let exec_round ~(counts : counts) ~trace ~sched_spans ~(links : link array)
+    ~round ~id0 ~pinned (payloads : string array) : string array =
+  let n = Array.length payloads in
+  let results : string option array = Array.make n None in
+  let got = ref 0 in
+  let next = ref 0 in
+  let send_task (l : link) idx =
+    let task_id = id0 + idx in
+    let t0 = Clock.now_ns () in
+    Message.send_to_worker l.conn
+      (Schedule { task_id; round; payload = payloads.(idx) });
+    if trace then
+      sched_spans :=
+        {
+          sp_task_id = task_id;
+          sp_pe = l.pe;
+          sp_round = round;
+          send_start_ns = t0;
+          send_done_ns = Clock.now_ns ();
+        }
+        :: !sched_spans;
+    l.outstanding <- l.outstanding + 1;
+    counts.schedules <- counts.schedules + 1
+  in
+  (* Initial placement: pinned tasks to their owner, otherwise
+     round-robin priming up to [prefetch] per PE. *)
+  if pinned then
+    for idx = 0 to n - 1 do
+      send_task links.(idx mod Array.length links) idx
+    done
+  else begin
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      Array.iter
+        (fun l ->
+          if l.outstanding < prefetch && !next < n then begin
+            send_task l !next;
+            incr next;
+            continue := true
+          end)
+        links
+    done
+  end;
+  let by_fd = Hashtbl.create (Array.length links) in
+  Array.iter (fun l -> Hashtbl.replace by_fd (Wire.read_fd l.conn) l) links;
+  let all_fds = Array.to_list (Array.map (fun l -> Wire.read_fd l.conn) links) in
+  let rec select_ready () =
+    match Unix.select all_fds [] [] (-1.0) with
+    | ready, _, _ -> ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_ready ()
+  in
+  while !got < n do
+    let ready = select_ready () in
+    List.iter
+      (fun fd ->
+        let l = Hashtbl.find by_fd fd in
+        (* recv never reads past one message, so readiness stays
+           meaningful for the next select. *)
+        match Message.recv_to_coordinator l.conn with
+        | Fish ->
+            counts.fishes <- counts.fishes + 1;
+            if (not pinned) && !next < n then begin
+              send_task l !next;
+              incr next
+            end
+            else begin
+              Message.send_to_worker l.conn Message.No_work;
+              counts.no_works <- counts.no_works + 1
+            end
+        | Result { task_id; round = r; payload } ->
+            if r <> round then
+              failwith
+                (Printf.sprintf "dist: PE %d returned a round-%d result in round %d"
+                   l.pe r round);
+            let idx = task_id - id0 in
+            if idx < 0 || idx >= n then
+              failwith
+                (Printf.sprintf "dist: PE %d returned unknown task %d" l.pe
+                   task_id);
+            (match results.(idx) with
+            | Some _ ->
+                failwith
+                  (Printf.sprintf "dist: duplicate result for task %d (PE %d)"
+                     task_id l.pe)
+            | None -> results.(idx) <- Some payload);
+            incr got;
+            l.outstanding <- l.outstanding - 1
+        | Stats _ -> failwith "dist: unsolicited Stats before Harvest")
+      ready
+  done;
+  counts.tasks <- counts.tasks + n;
+  counts.rounds <- counts.rounds + 1;
+  Array.map
+    (function
+      | Some s -> s
+      | None -> failwith "dist: round ended with a missing result")
+    results
+
+(* ---------------- teardown ---------------- *)
+
+let harvest (links : link array) : pe_report array =
+  Array.map
+    (fun l ->
+      Message.send_to_worker l.conn Message.Harvest;
+      let rec await () =
+        match Message.recv_to_coordinator l.conn with
+        | Fish ->
+            (* a stray end-of-round fish racing the harvest *)
+            Message.send_to_worker l.conn Message.No_work;
+            await ()
+        | Result _ -> failwith "dist: result arrived after the last round"
+        | Stats s -> s
+      in
+      let stats = await () in
+      { rep_pe = l.pe; rep_pid = l.pid; stats; co = Wire.counters l.conn })
+    links
+
+let shutdown (links : link array) =
+  Array.iter (fun l -> Message.send_to_worker l.conn Message.Shutdown) links;
+  Array.iter
+    (fun l ->
+      Wire.close l.conn;
+      match Unix.waitpid [] l.pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED c ->
+          failwith (Printf.sprintf "dist: PE %d exited with code %d" l.pe c)
+      | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+          failwith (Printf.sprintf "dist: PE %d killed by signal %d" l.pe s))
+    links
+
+(* ---------------- typed entry points ---------------- *)
+
+let with_links ?packet_bytes ~worker_argv ~procs ~mode ~trace f =
+  let t0 = Clock.now_ns () in
+  let links =
+    Array.init procs (spawn ?packet_bytes ~worker_argv ~procs ~mode ~trace)
+  in
+  let spawn_ns = Clock.now_ns () - t0 in
+  match f links with
+  | v -> (v, links, spawn_ns)
+  | exception e ->
+      kill_all links;
+      raise e
+
+let run ?worker_argv ?packet_bytes ?(trace = false) ~procs ~size
+    (module W : Workload.S) : outcome =
+  if procs < 1 then invalid_arg "Farm.run: procs must be >= 1";
+  let worker_argv =
+    match worker_argv with Some a -> a | None -> Worker.default_argv ()
+  in
+  let counts = { rounds = 0; tasks = 0; schedules = 0; fishes = 0; no_works = 0 } in
+  let sched_spans = ref [] in
+  let coord_pack_ns = ref 0 and coord_unpack_ns = ref 0 in
+  let mode = Message.Workload { name = W.name; size } in
+  let (result, work_ns, reports), links, spawn_ns =
+    with_links ?packet_bytes ~worker_argv ~procs ~mode ~trace (fun links ->
+        let t0 = Clock.now_ns () in
+        let rec rounds st tasks pinned =
+          let tp0 = Clock.now_ns () in
+          let payloads =
+            Array.map (fun t -> Marshal.to_string (t : W.task) []) tasks
+          in
+          coord_pack_ns := !coord_pack_ns + (Clock.now_ns () - tp0);
+          let raw =
+            exec_round ~counts ~trace ~sched_spans ~links ~round:counts.rounds
+              ~id0:counts.tasks ~pinned payloads
+          in
+          let tu0 = Clock.now_ns () in
+          let results =
+            Array.map (fun s -> (Marshal.from_string s 0 : W.result)) raw
+          in
+          coord_unpack_ns := !coord_unpack_ns + (Clock.now_ns () - tu0);
+          match W.step st results with
+          | `Done v -> v
+          | `Round (st, tasks, pinned) -> rounds st tasks pinned
+        in
+        let st, tasks, pinned = W.start ~size ~procs in
+        let result = rounds st tasks pinned in
+        let work_ns = Clock.now_ns () - t0 in
+        let reports = harvest links in
+        (result, work_ns, reports))
+  in
+  shutdown links;
+  {
+    result;
+    procs;
+    rounds = counts.rounds;
+    tasks = counts.tasks;
+    schedules = counts.schedules;
+    fishes = counts.fishes;
+    no_works = counts.no_works;
+    reports;
+    sched_spans = !sched_spans;
+    coord_pack_ns = !coord_pack_ns;
+    coord_unpack_ns = !coord_unpack_ns;
+    work_ns;
+    spawn_ns;
+  }
+
+let farm ?worker_argv ?packet_bytes ~procs (fs : (unit -> 'a) list) : 'a list =
+  if procs < 1 then invalid_arg "Farm.farm: procs must be >= 1";
+  let worker_argv =
+    match worker_argv with Some a -> a | None -> Worker.default_argv ()
+  in
+  let counts = { rounds = 0; tasks = 0; schedules = 0; fishes = 0; no_works = 0 } in
+  let sched_spans = ref [] in
+  (* The closure is marshalled with [Marshal.Closures]; that works
+     because every PE runs the very same binary (same code-fragment
+     digests).  Its captured environment travels by copy — the
+     process-boundary analogue of Eden's whole-normal-form rule. *)
+  let payloads =
+    Array.of_list
+      (List.map
+         (fun f ->
+           let g () = Marshal.to_string (f ()) [] in
+           Marshal.to_string g [ Marshal.Closures ])
+         fs)
+  in
+  let raw, links, _spawn_ns =
+    with_links ?packet_bytes ~worker_argv ~procs ~mode:Message.Closures
+      ~trace:false (fun links ->
+        let raw =
+          exec_round ~counts ~trace:false ~sched_spans ~links ~round:0 ~id0:0
+            ~pinned:false payloads
+        in
+        (* The Harvest/Stats exchange also synchronises teardown: a
+           worker's trailing [Fish] could otherwise race our [close]
+           and die on EPIPE. *)
+        let (_ : pe_report array) = harvest links in
+        raw)
+  in
+  shutdown links;
+  Array.to_list (Array.map (fun s : 'a -> Marshal.from_string s 0) raw)

@@ -1,0 +1,71 @@
+(** Coordinator of the distributed (multi-process) executor: task-farm
+    scheduling with round-robin priming plus GUM-style passive work
+    requests (FISH/SCHEDULE), one worker process per PE. *)
+
+(** Coordinator-side timing of one [Schedule] send (same monotonic
+    timebase as the worker's spans, so {!Timeline} can draw the wire
+    segment between them). *)
+type sched_span = {
+  sp_task_id : int;
+  sp_pe : int;
+  sp_round : int;
+  send_start_ns : int;
+  send_done_ns : int;
+}
+
+type pe_report = {
+  rep_pe : int;
+  rep_pid : int;
+  stats : Message.worker_stats;  (** the PE's own view of the session *)
+  co : Wire.counters;  (** the coordinator's view of the same link *)
+}
+
+type outcome = {
+  result : int;
+  procs : int;
+  rounds : int;
+  tasks : int;
+  schedules : int;  (** [Schedule] messages sent *)
+  fishes : int;  (** [Fish] work requests received *)
+  no_works : int;  (** fishes that found nothing runnable *)
+  reports : pe_report array;
+  sched_spans : sched_span list;  (** newest first; [] unless traced *)
+  coord_pack_ns : int;  (** task payload marshalling on the coordinator *)
+  coord_unpack_ns : int;  (** result payload unmarshalling *)
+  work_ns : int;  (** first dispatch to final [step]; excludes spawn *)
+  spawn_ns : int;  (** process creation + handshakes *)
+}
+
+(** Tasks each PE is primed with before demand scheduling takes over. *)
+val prefetch : int
+
+(** [run ~procs ~size (module W)] executes the workload on [procs]
+    worker processes and returns the checksum plus per-PE traffic, GC
+    and timing counters.  [worker_argv] defaults to re-executing this
+    binary with [Worker.marker] (the host binary must call
+    [Worker.maybe_run]).  [trace] records per-task spans on every PE
+    and schedule spans on the coordinator.
+
+    @raise Invalid_argument if [procs < 1].
+    @raise Failure on protocol violations (duplicate or unknown
+    results, a worker dying, a worker exiting non-zero). *)
+val run :
+  ?worker_argv:string array ->
+  ?packet_bytes:int ->
+  ?trace:bool ->
+  procs:int ->
+  size:int ->
+  (module Workload.S) ->
+  outcome
+
+(** [farm fs] evaluates each closure on some PE and returns the
+    results in order — Eden's process-abstraction farm.  Closures are
+    marshalled with [Marshal.Closures], which is only sound because
+    every worker runs the same binary; captured state travels by copy,
+    and results must be marshallable (no functions baked in). *)
+val farm :
+  ?worker_argv:string array ->
+  ?packet_bytes:int ->
+  procs:int ->
+  (unit -> 'a) list ->
+  'a list

@@ -1,0 +1,83 @@
+(** Wall-clock measurement of distributed runs — the Eden-side
+    counterpart of [Repro_exec.Harness]: per-process-count timings and
+    speedups plus the message/byte/packet and private-heap GC counters
+    no shared-memory run has. *)
+
+type per_pe = {
+  pe : int;
+  pe_tasks : int;
+  pe_fishes : int;
+  msgs_sent : int;
+  msgs_recv : int;
+  bytes_sent : int;  (** on-wire bytes, packet headers included *)
+  bytes_recv : int;
+  packets_sent : int;
+  packets_recv : int;
+  pack_ns : int;
+  unpack_ns : int;
+  exec_ns : int;
+  gc_minor_collections : int;  (** deltas of the PE's private heap *)
+  gc_major_collections : int;
+  gc_minor_words : float;
+  gc_promoted_words : float;
+}
+
+type measurement = {
+  workload : string;
+  size : int;
+  procs : int;
+  repeats : int;
+  mean_ns : float;  (** [work_ns]: dispatch to final combine *)
+  stddev_ns : float;
+  min_ns : float;
+  speedup : float;  (** vs the first entry of the same sweep; 1.0 alone *)
+  result : int;
+  spawn_mean_ns : float;  (** process creation + handshakes, reported apart *)
+  rounds : int;
+  tasks : int;
+  schedules : int;
+  fishes : int;
+  no_works : int;
+  msgs : int;  (** worker-side messages, sent + received, all PEs *)
+  bytes : int;
+  packets : int;
+  pack_ns : int;
+  unpack_ns : int;
+  minor_collections : int;  (** summed over the PEs' private heaps *)
+  major_collections : int;
+  minor_words : float;
+  promoted_words : float;
+  per_pe : per_pe array;  (** from the last timed repeat *)
+}
+
+(** One warm-up plus [repeats] (default 3) timed runs, each on fresh
+    worker processes.
+    @raise Failure if two repeats disagree on the result checksum. *)
+val measure :
+  ?repeats:int ->
+  ?worker_argv:string array ->
+  procs:int ->
+  size:int ->
+  (module Workload.S) ->
+  measurement
+
+(** Measure at each process count; speedups relative to the first
+    entry. *)
+val sweep :
+  ?repeats:int ->
+  ?worker_argv:string array ->
+  procs_list:int list ->
+  size:int ->
+  (module Workload.S) ->
+  measurement list
+
+val to_table : measurement list -> Repro_util.Tablefmt.t
+val json_of_measurement : measurement -> Repro_util.Json_out.t
+
+(** [BENCH_dist.json]-style document; pass
+    [Repro_exec.Harness.env_header ~backend:"processes"
+    ~transport:"socketpair" ()] as [header]. *)
+val json_document :
+  header:(string * Repro_util.Json_out.t) list ->
+  measurement list ->
+  Repro_util.Json_out.t

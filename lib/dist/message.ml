@@ -1,0 +1,97 @@
+(** The coordinator/PE message vocabulary, GUM-style (paper
+    Sec. III-B): the coordinator pushes work with [Schedule] (GUM's
+    SCHEDULE message), idle PEs ask for more with [Fish] (GUM's FISH),
+    and a PE that fished when nothing was runnable gets [No_work] and
+    is remembered as hungry.  [Harvest]/[Stats] drain the per-PE
+    counters at shutdown.
+
+    All payloads are [Marshal]-serialised {e fully-evaluated} values —
+    Eden's rule that only whole normal forms cross the heap boundary.
+    Task and result payloads are pre-marshalled by the typed layer
+    ({!Farm}) and travel here as opaque strings, so this module is
+    monomorphic and every byte on the wire is accounted to the
+    connection's counters, marshalling time included. *)
+
+type mode =
+  | Workload of { name : string; size : int }
+      (** run tasks of the registered workload [name] *)
+  | Closures  (** task payloads are marshalled [unit -> string] closures *)
+
+(** First message on a fresh connection, coordinator to PE. *)
+type hello = {
+  pe : int;
+  procs : int;
+  mode : mode;
+  trace : bool;  (** record per-task spans and ship them in [Stats] *)
+}
+
+type to_worker =
+  | Schedule of { task_id : int; round : int; payload : string }
+  | No_work
+  | Harvest
+  | Shutdown
+
+(** One task's life on a PE, monotonic-clock nanoseconds (comparable
+    with coordinator timestamps — see {!Clock}). *)
+type task_span = {
+  span_task_id : int;
+  recv_done_ns : int;
+  span_unpack_ns : int;
+  exec_start_ns : int;
+  exec_end_ns : int;
+  span_pack_ns : int;
+}
+
+type worker_stats = {
+  stats_pe : int;
+  tasks_executed : int;
+  fishes_sent : int;
+  msgs_sent : int;
+  msgs_recv : int;
+  bytes_sent : int;
+  bytes_recv : int;
+  packets_sent : int;
+  packets_recv : int;
+  pack_ns : int;
+  unpack_ns : int;
+  exec_ns : int;  (** time inside [W.execute], summed *)
+  gc_minor_collections : int;  (** deltas over the PE's own private heap *)
+  gc_major_collections : int;
+  gc_minor_words : float;
+  gc_promoted_words : float;
+  spans : task_span list;
+  spans_dropped : int;
+}
+
+type to_coordinator =
+  | Fish
+  | Result of { task_id : int; round : int; payload : string }
+  | Stats of worker_stats
+
+(* ---------------- wire glue ---------------- *)
+
+(* Marshal + send, with the serialisation time accounted to the
+   connection (the real-world analogue of the simulator's
+   [pack_ns_per_byte] charge on the sending thread). *)
+let send_value conn v =
+  let t0 = Clock.now_ns () in
+  let s = Marshal.to_string v [] in
+  let c = Wire.counters conn in
+  c.Wire.pack_ns <- c.Wire.pack_ns + (Clock.now_ns () - t0);
+  Wire.send conn s
+
+let recv_value : type a. Wire.conn -> a =
+ fun conn ->
+  let s = Wire.recv conn in
+  let t0 = Clock.now_ns () in
+  let v : a = Marshal.from_string s 0 in
+  let c = Wire.counters conn in
+  c.Wire.unpack_ns <- c.Wire.unpack_ns + (Clock.now_ns () - t0);
+  v
+
+let send_hello conn (h : hello) = send_value conn h
+let recv_hello conn : hello = recv_value conn
+let send_to_worker conn (m : to_worker) = send_value conn m
+let recv_to_worker conn : to_worker = recv_value conn
+let send_to_coordinator conn (m : to_coordinator) = send_value conn m
+let recv_to_coordinator conn : to_coordinator = recv_value conn

@@ -1,0 +1,90 @@
+(** Chrome trace-event timeline for distributed runs: one track per
+    PE plus a coordinator track, with per-task [unpack]/[exec]/[pack]
+    slices from the worker spans and [wire] slices bridging the
+    coordinator's send-done timestamp to the worker's receive-done
+    timestamp.  The bridge is sound because every process reads the
+    same system-wide CLOCK_MONOTONIC (see {!Clock}).
+
+    Mirrors the conventions of [lib/trace]'s exporter for the
+    shared-memory backend: microsecond timestamps, ["X"] complete
+    slices, [thread_name] metadata records. *)
+
+module Json = Repro_util.Json_out
+
+(** [track = -1] is the coordinator; [track >= 0] is that PE. *)
+type span = { track : int; name : string; cat : string; t0_ns : int; t1_ns : int }
+
+let of_outcome (o : Farm.outcome) : span list =
+  let spans = ref [] in
+  let push track name cat t0_ns t1_ns =
+    if t1_ns >= t0_ns then spans := { track; name; cat; t0_ns; t1_ns } :: !spans
+  in
+  (* coordinator send side, and an index for the wire bridges *)
+  let send_done = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Farm.sched_span) ->
+      Hashtbl.replace send_done s.sp_task_id s.send_done_ns;
+      push (-1) "schedule" "sched" s.send_start_ns s.send_done_ns)
+    o.sched_spans;
+  Array.iter
+    (fun (r : Farm.pe_report) ->
+      List.iter
+        (fun (t : Message.task_span) ->
+          (match Hashtbl.find_opt send_done t.span_task_id with
+          | Some sd -> push r.rep_pe "wire" "net" sd t.recv_done_ns
+          | None -> ());
+          push r.rep_pe "unpack" "pack" t.recv_done_ns t.exec_start_ns;
+          push r.rep_pe "exec" "exec" t.exec_start_ns t.exec_end_ns;
+          push r.rep_pe "pack" "pack" t.exec_end_ns
+            (t.exec_end_ns + t.span_pack_ns))
+        r.stats.Message.spans)
+    o.reports;
+  List.rev !spans
+
+let pid = 0
+
+(* tid 0 = coordinator, tid pe+1 = PE pe *)
+let tid_of_track track = track + 1
+
+let to_chrome ~procs (spans : span list) : Json.t =
+  let t_min =
+    List.fold_left (fun acc s -> min acc s.t0_ns) max_int spans
+  in
+  let t_min = if t_min = max_int then 0 else t_min in
+  let us_of_ns ns = float_of_int (ns - t_min) /. 1e3 in
+  let slice s =
+    Json.Obj
+      [
+        ("name", Json.Str s.name);
+        ("cat", Json.Str s.cat);
+        ("ph", Json.Str "X");
+        ("ts", Json.Float (us_of_ns s.t0_ns));
+        ("dur", Json.Float (float_of_int (s.t1_ns - s.t0_ns) /. 1e3));
+        ("pid", Json.Int pid);
+        ("tid", Json.Int (tid_of_track s.track));
+      ]
+  in
+  let thread_name tid name =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("ts", Json.Float 0.0);
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  in
+  let meta =
+    thread_name 0 "coordinator"
+    :: List.init procs (fun pe ->
+           thread_name (tid_of_track pe) (Printf.sprintf "PE %d" pe))
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map slice spans));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome ~procs ~path (o : Farm.outcome) =
+  Json.to_file path (to_chrome ~procs (of_outcome o))

@@ -1,0 +1,22 @@
+(** Chrome trace-event timeline for distributed runs: one track per
+    PE plus a coordinator track; [wire] slices bridge the coordinator's
+    send-done timestamp to the PE's receive-done timestamp (valid
+    because all processes share CLOCK_MONOTONIC). *)
+
+(** [track = -1] is the coordinator; [track >= 0] is that PE. *)
+type span = {
+  track : int;
+  name : string;  (** [schedule], [wire], [unpack], [exec], [pack] *)
+  cat : string;
+  t0_ns : int;
+  t1_ns : int;
+}
+
+(** Spans of a traced run ([Farm.run ~trace:true]); empty otherwise. *)
+val of_outcome : Farm.outcome -> span list
+
+(** Trace Event Format document (timestamps rebased to the earliest
+    span, microseconds). *)
+val to_chrome : procs:int -> span list -> Repro_util.Json_out.t
+
+val write_chrome : procs:int -> path:string -> Farm.outcome -> unit

@@ -1,0 +1,231 @@
+(** Framed byte-stream transport between PEs.
+
+    This is the real counterpart of [Repro_mp.Transport]'s cost
+    profiles: where the simulator {e charges} pack/latency/unpack
+    nanoseconds, this module actually moves bytes between processes
+    over a [socketpair] (or any pair of file descriptors) and counts
+    what it moved.
+
+    Messages are split into length-prefixed {e packets} (Eden/GUM
+    split graph messages into packets the same way, paper Sec. III-B):
+
+    {v
+      packet := u32 chunk-length (big-endian) | u8 flags | chunk bytes
+      flags  := bit 0 set on the last packet of a message
+    v}
+
+    A zero-length message is one empty packet with the last-flag set.
+    The codec is exposed in a pure form ({!encode}/{!decode}) for
+    property tests, and over file descriptors ({!send}/{!recv}) for
+    the executor.  Reads are exact (header, then chunk): the
+    connection never buffers ahead, so [Unix.select] readiness on the
+    descriptor is equivalent to "a message header is in flight". *)
+
+exception Truncated of string
+exception Dead_peer of string
+exception Protocol_error of string
+
+let header_bytes = 5
+let default_packet_bytes = 32 * 1024
+
+(* Refuse absurd chunk lengths: a corrupted or misaligned stream would
+   otherwise make us try to allocate gigabytes. *)
+let max_chunk_bytes = 64 * 1024 * 1024
+
+type counters = {
+  mutable msgs_sent : int;
+  mutable msgs_recv : int;
+  mutable bytes_sent : int;  (** on-wire bytes, packet headers included *)
+  mutable bytes_recv : int;
+  mutable packets_sent : int;
+  mutable packets_recv : int;
+  mutable pack_ns : int;  (** serialisation time, filled by {!Message} *)
+  mutable unpack_ns : int;
+}
+
+let fresh_counters () =
+  {
+    msgs_sent = 0;
+    msgs_recv = 0;
+    bytes_sent = 0;
+    bytes_recv = 0;
+    packets_sent = 0;
+    packets_recv = 0;
+    pack_ns = 0;
+    unpack_ns = 0;
+  }
+
+type conn = {
+  read_fd : Unix.file_descr;
+  write_fd : Unix.file_descr;
+  packet_bytes : int;
+  counters : counters;
+  header : Bytes.t;  (** scratch for one packet header *)
+  out : Bytes.t;  (** scratch for one whole outgoing packet *)
+}
+
+(* A worker whose coordinator died mid-send must see EPIPE as an
+   exception, not a fatal signal. *)
+let ignore_sigpipe =
+  lazy
+    (match Sys.os_type with
+    | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+    | _ -> ())
+
+let create ?(packet_bytes = default_packet_bytes) ~read_fd ~write_fd () =
+  if packet_bytes < 1 then
+    invalid_arg "Wire.create: packet_bytes must be >= 1";
+  Lazy.force ignore_sigpipe;
+  {
+    read_fd;
+    write_fd;
+    packet_bytes;
+    counters = fresh_counters ();
+    header = Bytes.create header_bytes;
+    out = Bytes.create (header_bytes + packet_bytes);
+  }
+
+let counters c = c.counters
+let packet_bytes c = c.packet_bytes
+let read_fd c = c.read_fd
+
+(* ---------------- pure codec ---------------- *)
+
+let put_header b ~pos ~len ~last =
+  Bytes.set b pos (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b (pos + 1) (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b (pos + 2) (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b (pos + 3) (Char.chr (len land 0xff));
+  Bytes.set b (pos + 4) (Char.chr (if last then 1 else 0))
+
+let get_header s ~pos =
+  let b i = Char.code s.[pos + i] in
+  let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  let flags = b 4 in
+  if flags land lnot 1 <> 0 then
+    raise (Protocol_error (Printf.sprintf "unknown packet flags 0x%02x" flags));
+  if len > max_chunk_bytes then
+    raise
+      (Protocol_error (Printf.sprintf "oversized packet chunk (%d bytes)" len));
+  (len, flags land 1 = 1)
+
+let packets_of_len ~packet_bytes len =
+  if len = 0 then 1 else (len + packet_bytes - 1) / packet_bytes
+
+let encode ~packet_bytes payload =
+  if packet_bytes < 1 then invalid_arg "Wire.encode: packet_bytes must be >= 1";
+  let len = String.length payload in
+  let npk = packets_of_len ~packet_bytes len in
+  let out = Bytes.create (len + (npk * header_bytes)) in
+  let src = ref 0 and dst = ref 0 in
+  for p = 0 to npk - 1 do
+    let chunk = min packet_bytes (len - !src) in
+    let last = p = npk - 1 in
+    put_header out ~pos:!dst ~len:chunk ~last;
+    Bytes.blit_string payload !src out (!dst + header_bytes) chunk;
+    src := !src + chunk;
+    dst := !dst + header_bytes + chunk
+  done;
+  Bytes.unsafe_to_string out
+
+let decode s ~pos =
+  let n = String.length s in
+  let buf = Buffer.create 256 in
+  let rec packet pos =
+    if pos + header_bytes > n then
+      raise (Truncated "input ends inside a packet header");
+    let len, last = get_header s ~pos in
+    if pos + header_bytes + len > n then
+      raise (Truncated "input ends inside a packet chunk");
+    Buffer.add_substring buf s (pos + header_bytes) len;
+    let pos = pos + header_bytes + len in
+    if last then (Buffer.contents buf, pos) else packet pos
+  in
+  packet pos
+
+(* ---------------- descriptor IO ---------------- *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b pos len with
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+          raise (Dead_peer "peer closed the connection during send")
+    in
+    write_all fd b (pos + n) (len - n)
+  end
+
+(* Read exactly [len] bytes; [what] names the piece for error
+   messages.  EOF here is always mid-frame (the caller handles the
+   clean-EOF case on the first header byte). *)
+let read_exact fd b pos len ~what =
+  let got = ref 0 in
+  while !got < len do
+    let n =
+      try Unix.read fd b (pos + !got) (len - !got) with
+      | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+    in
+    if n = 0 then
+      raise (Truncated (Printf.sprintf "peer closed mid-frame (reading %s)" what));
+    got := !got + n
+  done
+
+let send c payload =
+  let len = String.length payload in
+  let npk = packets_of_len ~packet_bytes:c.packet_bytes len in
+  let src = ref 0 in
+  for p = 0 to npk - 1 do
+    let chunk = min c.packet_bytes (len - !src) in
+    (* one write per packet: header and chunk coalesced through the
+       scratch buffer — the copy is far cheaper than a second syscall
+       and halves the kernel's per-skb buffer accounting *)
+    put_header c.out ~pos:0 ~len:chunk ~last:(p = npk - 1);
+    Bytes.blit_string payload !src c.out header_bytes chunk;
+    write_all c.write_fd c.out 0 (header_bytes + chunk);
+    src := !src + chunk
+  done;
+  c.counters.msgs_sent <- c.counters.msgs_sent + 1;
+  c.counters.packets_sent <- c.counters.packets_sent + npk;
+  c.counters.bytes_sent <- c.counters.bytes_sent + len + (npk * header_bytes)
+
+(* First header of a message: a clean EOF before any byte means the
+   peer shut down at a frame boundary. *)
+let read_first_header c =
+  let got = ref 0 in
+  while !got < header_bytes do
+    let n =
+      try Unix.read c.read_fd c.header !got (header_bytes - !got) with
+      | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+    in
+    if n = 0 then
+      if !got = 0 then raise End_of_file
+      else raise (Truncated "peer closed mid-frame (reading packet header)");
+    got := !got + n
+  done
+
+let recv c =
+  read_first_header c;
+  let buf = Buffer.create 256 in
+  let npk = ref 0 in
+  let rec go ~first =
+    if not first then
+      read_exact c.read_fd c.header 0 header_bytes ~what:"packet header";
+    incr npk;
+    let len, last = get_header (Bytes.unsafe_to_string c.header) ~pos:0 in
+    let chunk = Bytes.create len in
+    read_exact c.read_fd chunk 0 len ~what:"packet chunk";
+    Buffer.add_bytes buf chunk;
+    if not last then go ~first:false
+  in
+  go ~first:true;
+  let payload = Buffer.contents buf in
+  c.counters.msgs_recv <- c.counters.msgs_recv + 1;
+  c.counters.packets_recv <- c.counters.packets_recv + !npk;
+  c.counters.bytes_recv <-
+    c.counters.bytes_recv + String.length payload + (!npk * header_bytes);
+  payload
+
+let close c =
+  (try Unix.close c.read_fd with Unix.Unix_error _ -> ());
+  if c.write_fd <> c.read_fd then
+    try Unix.close c.write_fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,76 @@
+(** Framed byte-stream transport between PEs: length-prefixed packets
+    over a [socketpair] (or any fd pair), with per-connection
+    message/byte/packet counters.  The real counterpart of
+    [Repro_mp.Transport]'s simulated cost profiles.
+
+    Packet format: [u32 chunk-length (big-endian) | u8 flags | chunk];
+    flag bit 0 marks the last packet of a message.  A zero-length
+    message is one empty last packet. *)
+
+(** Peer closed mid-frame (EOF inside a header or chunk). *)
+exception Truncated of string
+
+(** Peer closed before a send completed (EPIPE/ECONNRESET). *)
+exception Dead_peer of string
+
+(** Malformed stream: unknown flags or an absurd chunk length. *)
+exception Protocol_error of string
+
+val header_bytes : int
+val default_packet_bytes : int
+
+type counters = {
+  mutable msgs_sent : int;
+  mutable msgs_recv : int;
+  mutable bytes_sent : int;  (** on-wire bytes, packet headers included *)
+  mutable bytes_recv : int;
+  mutable packets_sent : int;
+  mutable packets_recv : int;
+  mutable pack_ns : int;  (** Marshal time, accumulated by {!Message} *)
+  mutable unpack_ns : int;
+}
+
+type conn
+
+(** [create ~read_fd ~write_fd ()] wraps a descriptor pair (they may
+    be the same descriptor, e.g. one end of a socketpair).  Ignores
+    SIGPIPE process-wide on first use so a dead peer surfaces as
+    {!Dead_peer} rather than a fatal signal.
+    @raise Invalid_argument if [packet_bytes < 1]. *)
+val create :
+  ?packet_bytes:int ->
+  read_fd:Unix.file_descr ->
+  write_fd:Unix.file_descr ->
+  unit ->
+  conn
+
+val counters : conn -> counters
+val packet_bytes : conn -> int
+
+(** The receiving descriptor, for [Unix.select] multiplexing (safe
+    because {!recv} never reads ahead of the current frame). *)
+val read_fd : conn -> Unix.file_descr
+
+(** Number of packets a [len]-byte message needs (at least 1). *)
+val packets_of_len : packet_bytes:int -> int -> int
+
+(** Pure codec (property tests): [encode] produces the exact byte
+    stream [send] would write; [decode s ~pos] returns the payload and
+    the position one past its last packet.
+    @raise Truncated if [s] ends before the message completes
+    (including an empty remainder). *)
+val encode : packet_bytes:int -> string -> string
+
+val decode : string -> pos:int -> string * int
+
+(** Send one message (split into packets).
+    @raise Dead_peer if the peer is gone. *)
+val send : conn -> string -> unit
+
+(** Receive one message.  Reads are exact — nothing is buffered ahead,
+    so [Unix.select] readiness means a header is in flight.
+    @raise End_of_file on a clean EOF at a frame boundary.
+    @raise Truncated on EOF mid-frame. *)
+val recv : conn -> string
+
+val close : conn -> unit

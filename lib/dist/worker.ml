@@ -1,0 +1,161 @@
+(** The PE-side of the distributed executor.
+
+    A worker is a {e fresh process} started with
+    [Unix.create_process] — not a fork: OCaml 5 forbids forking once
+    any domain has ever been created in the process, and the host
+    binaries spawn domains for the shared-memory backend.  The
+    coordinator re-executes its own binary with {!marker} as the first
+    argument; host executables must call {!maybe_run} before their
+    normal entry point.  One end of a socketpair becomes the child's
+    stdin and carries {e both} directions (a socketpair is full
+    duplex), so the message channel needs no fd plumbing beyond
+    [create_process]'s standard slots.  Stdout and stderr pass
+    through untouched — anything the binary prints before
+    {!maybe_run} runs (a test runner announcing a random seed, say)
+    lands on the console instead of corrupting the wire.
+
+    The PE owns a fully private OCaml heap with its own GC — the
+    defining property of the Eden/GUM model this backend realises —
+    and reports its GC counter deltas back in [Stats]. *)
+
+let marker = "--dist-worker"
+let default_argv () = [| Sys.executable_name; marker |]
+
+let is_worker_invocation argv = Array.length argv >= 2 && argv.(1) = marker
+
+(* One executed task: the marshalled result plus the phase
+   timestamps/durations a trace span needs. *)
+type executed = {
+  out : string;
+  unpack_ns : int;
+  exec_start_ns : int;
+  exec_end_ns : int;
+  pack_ns : int;
+}
+
+(* Build the payload -> executed function once per session.  Workload
+   mode looks the workload up in the registry and round-trips typed
+   task/result values; [Closures] mode expects a marshalled
+   [unit -> string] whose output is already the result payload. *)
+let executor (mode : Message.mode) : string -> executed =
+  match mode with
+  | Message.Workload { name; size } -> (
+      match Workload.find name with
+      | None -> failwith (Printf.sprintf "dist worker: unknown workload %S" name)
+      | Some (module W) ->
+          fun payload ->
+            let t0 = Clock.now_ns () in
+            let task : W.task = Marshal.from_string payload 0 in
+            let t1 = Clock.now_ns () in
+            let r = W.execute ~size task in
+            let t2 = Clock.now_ns () in
+            let out = Marshal.to_string r [] in
+            let t3 = Clock.now_ns () in
+            {
+              out;
+              unpack_ns = t1 - t0;
+              exec_start_ns = t1;
+              exec_end_ns = t2;
+              pack_ns = t3 - t2;
+            })
+  | Message.Closures ->
+      fun payload ->
+        let t0 = Clock.now_ns () in
+        let f : unit -> string = Marshal.from_string payload 0 in
+        let t1 = Clock.now_ns () in
+        let out = f () in
+        let t2 = Clock.now_ns () in
+        { out; unpack_ns = t1 - t0; exec_start_ns = t1; exec_end_ns = t2; pack_ns = 0 }
+
+let max_recorded_spans = 8192
+
+let serve () =
+  let conn = Wire.create ~read_fd:Unix.stdin ~write_fd:Unix.stdin () in
+  let hello = Message.recv_hello conn in
+  let execute = executor hello.mode in
+  let gc0 = Gc.quick_stat () in
+  (* [quick_stat]'s [minor_words] only advances at collection
+     boundaries; [Gc.minor_words] reads the live allocation pointer,
+     which matters in a worker too short-lived to ever minor-collect. *)
+  let mw0 = Gc.minor_words () in
+  let tasks_executed = ref 0 in
+  let fishes_sent = ref 0 in
+  let exec_ns = ref 0 in
+  let spans = ref [] in
+  let nspans = ref 0 in
+  let spans_dropped = ref 0 in
+  let running = ref true in
+  while !running do
+    match Message.recv_to_worker conn with
+    | Schedule { task_id; round; payload } ->
+        let recv_done_ns = Clock.now_ns () in
+        let e = execute payload in
+        let c = Wire.counters conn in
+        c.Wire.unpack_ns <- c.Wire.unpack_ns + e.unpack_ns;
+        c.Wire.pack_ns <- c.Wire.pack_ns + e.pack_ns;
+        exec_ns := !exec_ns + (e.exec_end_ns - e.exec_start_ns);
+        incr tasks_executed;
+        if hello.trace then
+          if !nspans < max_recorded_spans then begin
+            incr nspans;
+            spans :=
+              {
+                Message.span_task_id = task_id;
+                recv_done_ns;
+                span_unpack_ns = e.unpack_ns;
+                exec_start_ns = e.exec_start_ns;
+                exec_end_ns = e.exec_end_ns;
+                span_pack_ns = e.pack_ns;
+              }
+              :: !spans
+          end
+          else incr spans_dropped;
+        Message.send_to_coordinator conn
+          (Result { task_id; round; payload = e.out });
+        (* GUM-style demand: ask for more as soon as the result is off. *)
+        Message.send_to_coordinator conn Fish;
+        incr fishes_sent
+    | No_work ->
+        (* Nothing runnable at the coordinator; the blocking recv at
+           the top of the loop is the wait. *)
+        ()
+    | Harvest ->
+        let gc1 = Gc.quick_stat () in
+        let c = Wire.counters conn in
+        let stats =
+          {
+            Message.stats_pe = hello.pe;
+            tasks_executed = !tasks_executed;
+            fishes_sent = !fishes_sent;
+            msgs_sent = c.Wire.msgs_sent;
+            msgs_recv = c.Wire.msgs_recv;
+            bytes_sent = c.Wire.bytes_sent;
+            bytes_recv = c.Wire.bytes_recv;
+            packets_sent = c.Wire.packets_sent;
+            packets_recv = c.Wire.packets_recv;
+            pack_ns = c.Wire.pack_ns;
+            unpack_ns = c.Wire.unpack_ns;
+            exec_ns = !exec_ns;
+            gc_minor_collections = gc1.minor_collections - gc0.minor_collections;
+            gc_major_collections = gc1.major_collections - gc0.major_collections;
+            gc_minor_words = Gc.minor_words () -. mw0;
+            gc_promoted_words = gc1.promoted_words -. gc0.promoted_words;
+            spans = List.rev !spans;
+            spans_dropped = !spans_dropped;
+          }
+        in
+        Message.send_to_coordinator conn (Stats stats)
+    | Shutdown -> running := false
+  done
+
+let main () =
+  match serve () with
+  | () -> exit 0
+  | exception End_of_file ->
+      (* coordinator vanished without Shutdown *)
+      exit 1
+  | exception e ->
+      prerr_endline ("dist worker: " ^ Printexc.to_string e);
+      exit 2
+
+let maybe_run argv = if is_worker_invocation argv then main ()

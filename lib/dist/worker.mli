@@ -1,0 +1,23 @@
+(** PE-side entry point of the distributed executor.  Workers are
+    fresh [create_process] spawns of the host binary (OCaml 5 forbids
+    [Unix.fork] once any domain has been created), recognised by
+    {!marker} in [argv]; host executables call {!maybe_run} before
+    their normal main. *)
+
+(** First argv argument marking a worker invocation
+    (["--dist-worker"]). *)
+val marker : string
+
+(** [[| Sys.executable_name; marker |]] — re-execute this binary as a
+    worker. *)
+val default_argv : unit -> string array
+
+val is_worker_invocation : string array -> bool
+
+(** Serve one coordinator session on stdin (the socketpair end, used
+    in both directions), then [exit].  Never returns. *)
+val main : unit -> 'a
+
+(** [maybe_run argv] runs {!main} (never returning) iff [argv] marks a
+    worker invocation; otherwise returns immediately. *)
+val maybe_run : string array -> unit

@@ -1,0 +1,52 @@
+(** Workloads decomposed for distribution: pure-data tasks, barrier
+    rounds, bit-identical checksums against the sequential references
+    (and against [Repro_exec.Workload]'s shared-heap results). *)
+
+module type S = sig
+  val name : string
+  val size_doc : string
+  val default_size : int
+  val quick_size : int
+
+  type task
+  (** Pure data shipped to a PE ([Marshal] without closures). *)
+
+  type result
+  (** Fully-evaluated value shipped back. *)
+
+  type state
+  (** Coordinator state threaded between rounds. *)
+
+  (** First round: [(state, tasks, pinned)].  When [pinned], task [i]
+      must run on PE [i mod procs] (PE-resident state across rounds,
+      as in Eden's ring skeleton); otherwise tasks may go anywhere. *)
+  val start : size:int -> procs:int -> state * task array * bool
+
+  (** Barrier: all of a round's results, in task order.  Either the
+      final checksum or the next round. *)
+  val step :
+    state ->
+    result array ->
+    [ `Done of int | `Round of state * task array * bool ]
+
+  (** Runs on the PE; may keep process-local caches, must not depend
+      on coordinator state. *)
+  val execute : size:int -> task -> result
+
+  (** Sequential reference checksum. *)
+  val reference : size:int -> int
+end
+
+module Sumeuler : S
+module Parfib : S
+module Matmul : S
+module Mandelbrot_w : S
+module Apsp_w : S
+
+val all : (module S) list
+val names : string list
+val find : string -> (module S) option
+
+(** Bit pattern of a float as an [int] (distinguishes checksums that
+    printing would round together). *)
+val float_bits : float -> int

@@ -52,9 +52,12 @@ let git_commit () =
     ([BENCH_exec.json], [BENCH_repro.json], minor-heap sweeps): enough
     to reproduce the run — hardware width, the runtime knobs in effect
     and the exact code revision. *)
-let env_header () : (string * Json.t) list =
+let env_header ?(backend = "domains") ?transport () : (string * Json.t) list =
   [
     ("hardware_cores", Json.Int (Domain.recommended_domain_count ()));
+    ("backend", Json.Str backend);
+    ( "transport",
+      match transport with Some t -> Json.Str t | None -> Json.Null );
     ("ocaml", Json.Str Sys.ocaml_version);
     ( "ocamlrunparam",
       Json.Str (Option.value ~default:"" (Sys.getenv_opt "OCAMLRUNPARAM")) );

@@ -27,9 +27,16 @@ type measurement = {
 val now_ns : unit -> float
 
 (** Environment header for benchmark documents: hardware core count,
-    OCaml version, effective [OCAMLRUNPARAM] and git commit (or
-    ["unknown"] outside a work tree). *)
-val env_header : unit -> (string * Repro_util.Json_out.t) list
+    execution backend ([backend] defaults to ["domains"]; the
+    multi-process executor passes ["processes"]), transport name when
+    one applies (e.g. ["socketpair"]; [null] otherwise), OCaml
+    version, effective [OCAMLRUNPARAM] and git commit (or ["unknown"]
+    outside a work tree). *)
+val env_header :
+  ?backend:string ->
+  ?transport:string ->
+  unit ->
+  (string * Repro_util.Json_out.t) list
 
 (** Run the workload on a fresh [cores]-domain pool: one warm-up run
     plus [repeats] (default 3) timed runs.

@@ -1,0 +1,13 @@
+(* seeded violation: the farmed closure mutates a captured counter and
+   builds a lazy payload -- an unforced thunk crossing the heap boundary *)
+let hits = ref 0
+
+let run jobs =
+  let results =
+    Dist.farm
+      (fun job ->
+        hits := !hits + 1;
+        lazy (job * 2))
+      jobs
+  in
+  List.map Lazy.force results

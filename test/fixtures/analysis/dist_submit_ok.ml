@@ -1,0 +1,12 @@
+(* clean: the submitted payload is computed from state the closure
+   allocates itself and is returned fully evaluated *)
+let run jobs =
+  let outs =
+    Dist.submit
+      (fun job ->
+        let acc = ref 0 in
+        List.iter (fun x -> acc := !acc + x) job;
+        !acc)
+      jobs
+  in
+  List.fold_left ( + ) 0 outs

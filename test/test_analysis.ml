@@ -30,6 +30,9 @@ let expectations =
     ("spark_purity_io_bad.ml", [ ("spark-purity", 3) ]);
     ("spark_purity_raise_bad.ml", [ ("spark-purity", 3) ]);
     ("spark_purity_ok.ml", []);
+    ( "dist_submit_bad.ml",
+      [ ("spark-purity", 9); ("spark-purity", 10) ] );
+    ("dist_submit_ok.ml", []);
     ("atomics_raw_bad.ml", [ ("atomics-discipline", 2) ]);
     ("atomics_stdlib_bad.ml", [ ("atomics-discipline", 2) ]);
     ("atomics_magic_bad.ml", [ ("atomics-discipline", 2) ]);

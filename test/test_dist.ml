@@ -1,0 +1,349 @@
+(** Tests for the multi-process executor (lib/dist): wire-protocol
+    codec properties, fd-level framing and error paths over a real
+    socketpair, and end-to-end multi-process runs checked bit-for-bit
+    against the sequential references.
+
+    The multi-process cases re-execute this very test binary as the
+    worker ([Test_main] installs [Repro_dist.Worker.maybe_run] before
+    Alcotest sees argv). *)
+
+open Alcotest
+module Wire = Repro_dist.Wire
+module Farm = Repro_dist.Farm
+module Workload = Repro_dist.Workload
+module Measure = Repro_dist.Measure
+module Timeline = Repro_dist.Timeline
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Pure codec                                                          *)
+
+let encoded_len ~packet_bytes len =
+  len + (Wire.header_bytes * Wire.packets_of_len ~packet_bytes len)
+
+let payload_of_len len = String.init len (fun i -> Char.chr (i land 0xff))
+
+(* Edge sizes around the packet boundary, including the empty message
+   and multi-packet messages. *)
+let codec_edge_cases () =
+  List.iter
+    (fun packet_bytes ->
+      List.iter
+        (fun len ->
+          if len >= 0 then begin
+            let s = payload_of_len len in
+            let enc = Wire.encode ~packet_bytes s in
+            check int
+              (Printf.sprintf "encoded length (pb=%d len=%d)" packet_bytes len)
+              (encoded_len ~packet_bytes len)
+              (String.length enc);
+            let dec, pos = Wire.decode enc ~pos:0 in
+            check string "payload round-trips" s dec;
+            check int "consumed to the end" (String.length enc) pos
+          end)
+        [
+          0; 1; packet_bytes - 1; packet_bytes; packet_bytes + 1;
+          2 * packet_bytes; (3 * packet_bytes) + 7;
+        ])
+    [ 1; 7; 64 ]
+
+let codec_qcheck =
+  QCheck.Test.make ~name:"wire codec round-trips arbitrary payloads"
+    ~count:200
+    QCheck.(pair (int_range 1 80) (string_of_size Gen.(0 -- 300)))
+    (fun (packet_bytes, s) ->
+      let enc = Wire.encode ~packet_bytes s in
+      let dec, pos = Wire.decode enc ~pos:0 in
+      dec = s
+      && pos = String.length enc
+      && String.length enc = encoded_len ~packet_bytes (String.length s))
+
+(* Back-to-back messages decode in sequence from one stream. *)
+let codec_stream () =
+  let packet_bytes = 9 in
+  let msgs = [ ""; "a"; payload_of_len 25; payload_of_len 9; "end" ] in
+  let stream = String.concat "" (List.map (Wire.encode ~packet_bytes) msgs) in
+  let pos = ref 0 in
+  List.iter
+    (fun expected ->
+      let dec, pos' = Wire.decode stream ~pos:!pos in
+      check string "message in stream order" expected dec;
+      pos := pos')
+    msgs;
+  check int "stream fully consumed" (String.length stream) !pos
+
+(* Every strict prefix of an encoded message is an incomplete frame. *)
+let codec_truncation () =
+  let packet_bytes = 7 in
+  let enc = Wire.encode ~packet_bytes (payload_of_len 20) in
+  for cut = 0 to String.length enc - 1 do
+    let prefix = String.sub enc 0 cut in
+    match Wire.decode prefix ~pos:0 with
+    | _ -> failf "prefix of %d bytes decoded" cut
+    | exception Wire.Truncated _ -> ()
+  done
+
+let codec_rejects_bad_flags () =
+  (* length 0, flags with an unknown bit set *)
+  let bad = "\x00\x00\x00\x00\x02" in
+  match Wire.decode bad ~pos:0 with
+  | _ -> fail "unknown flags accepted"
+  | exception Wire.Protocol_error _ -> ()
+
+let packets_of_len_cases () =
+  check int "empty message still needs a packet" 1
+    (Wire.packets_of_len ~packet_bytes:8 0);
+  check int "exact fit" 1 (Wire.packets_of_len ~packet_bytes:8 8);
+  check int "one byte over" 2 (Wire.packets_of_len ~packet_bytes:8 9);
+  check int "many" 4 (Wire.packets_of_len ~packet_bytes:8 25)
+
+(* ------------------------------------------------------------------ *)
+(* Framing over a real socketpair                                      *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let close fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      close a;
+      close b)
+    (fun () -> f a b)
+
+let conn_of fd = Wire.create ~read_fd:fd ~write_fd:fd ()
+
+(* Small and empty messages fit the kernel buffer, so one thread can
+   send then receive; the counters on both ends must agree with the
+   framing arithmetic. *)
+let fd_roundtrip_counters () =
+  with_socketpair (fun a b ->
+      let ca = conn_of a and cb = conn_of b in
+      Wire.send ca "";
+      Wire.send ca "hello";
+      check string "empty message" "" (Wire.recv cb);
+      check string "payload" "hello" (Wire.recv cb);
+      let sa = Wire.counters ca and sb = Wire.counters cb in
+      check int "msgs sent" 2 sa.Wire.msgs_sent;
+      check int "msgs recv" 2 sb.Wire.msgs_recv;
+      check int "packets sent" 2 sa.Wire.packets_sent;
+      check int "bytes include headers"
+        (5 + (2 * Wire.header_bytes))
+        sa.Wire.bytes_sent;
+      check int "both ends agree on bytes" sa.Wire.bytes_sent
+        sb.Wire.bytes_recv)
+
+(* A ~200 KB message spans many packets and overflows the socketpair
+   buffer, so the receiver runs on its own domain. *)
+let fd_multi_packet () =
+  with_socketpair (fun a b ->
+      let packet_bytes = 4096 in
+      let ca = Wire.create ~packet_bytes ~read_fd:a ~write_fd:a ()
+      and cb = Wire.create ~packet_bytes ~read_fd:b ~write_fd:b () in
+      let big = payload_of_len 200_000 in
+      let reader = Domain.spawn (fun () -> Wire.recv cb) in
+      Wire.send ca big;
+      let got = Domain.join reader in
+      check bool "multi-packet payload intact" true (String.equal big got);
+      let sa = Wire.counters ca in
+      check int "packet count"
+        (Wire.packets_of_len ~packet_bytes 200_000)
+        sa.Wire.packets_sent;
+      check int "wire bytes"
+        (encoded_len ~packet_bytes 200_000)
+        sa.Wire.bytes_sent)
+
+let fd_clean_eof () =
+  with_socketpair (fun a b ->
+      let ca = conn_of a in
+      Unix.close b;
+      match Wire.recv ca with
+      | _ -> fail "recv succeeded on a closed peer"
+      | exception End_of_file -> ())
+
+let fd_truncated_frame () =
+  with_socketpair (fun a b ->
+      let ca = conn_of a in
+      (* half a header, then the peer dies *)
+      let n = Unix.write_substring b "\x00\x00\x01" 0 3 in
+      check int "partial header written" 3 n;
+      Unix.close b;
+      match Wire.recv ca with
+      | _ -> fail "recv decoded a truncated frame"
+      | exception Wire.Truncated _ -> ())
+
+let fd_dead_peer_send () =
+  with_socketpair (fun a b ->
+      let ca = conn_of a in
+      Unix.close b;
+      match Wire.send ca "anyone there?" with
+      | () -> fail "send succeeded with no peer"
+      | exception Wire.Dead_peer _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end multi-process runs                                       *)
+
+let quick_run ?(procs = 2) ?trace (module W : Workload.S) =
+  Farm.run ?trace ~procs ~size:W.quick_size (module W)
+
+(* Exactly-once ledger: the coordinator schedules each task once, the
+   workers between them execute each task once, and the combined
+   result matches the sequential reference. *)
+let exactly_once_ledger () =
+  let module W = Workload.Sumeuler in
+  let o = quick_run (module W) in
+  check int "checksum" (W.reference ~size:W.quick_size) o.Farm.result;
+  check int "two PEs reported" 2 (Array.length o.Farm.reports);
+  check int "every task scheduled exactly once" o.Farm.tasks o.Farm.schedules;
+  let executed =
+    Array.fold_left
+      (fun acc (r : Farm.pe_report) ->
+        acc + r.Farm.stats.Repro_dist.Message.tasks_executed)
+      0 o.Farm.reports
+  in
+  check int "every task executed exactly once" o.Farm.tasks executed;
+  Array.iter
+    (fun (r : Farm.pe_report) ->
+      let s = r.Farm.stats in
+      (* The coordinator also counts the final [Stats] frame, which
+         the worker's snapshot (taken before sending it) cannot. *)
+      check bool "coordinator saw at least the worker's counted traffic" true
+        (r.Farm.co.Wire.bytes_recv >= s.Repro_dist.Message.bytes_sent
+        && s.Repro_dist.Message.bytes_sent > 0);
+      check bool "private heap allocated" true
+        (s.Repro_dist.Message.gc_minor_words > 0.))
+    o.Farm.reports;
+  check bool "demand scheduling fished" true (o.Farm.fishes > 0);
+  check bool "work was timed" true (o.Farm.work_ns > 0)
+
+let all_workloads_match_reference () =
+  List.iter
+    (fun (module W : Workload.S) ->
+      let o = quick_run (module W) in
+      check int (W.name ^ " matches sequential reference")
+        (W.reference ~size:W.quick_size)
+        o.Farm.result)
+    Workload.all
+
+(* Pinned rounds with awkward divisions: block count not a multiple of
+   the PE count, and more PEs than rows. *)
+let apsp_awkward_shapes () =
+  let module W = Workload.Apsp_w in
+  List.iter
+    (fun (procs, size) ->
+      let o = Farm.run ~procs ~size (module W) in
+      check int
+        (Printf.sprintf "apsp procs=%d size=%d" procs size)
+        (W.reference ~size) o.Farm.result)
+    [ (3, 17); (4, 3); (2, 1) ]
+
+let more_procs_than_tasks () =
+  let module W = Workload.Parfib in
+  let o = Farm.run ~procs:5 ~size:12 (module W) in
+  check int "parfib with idle PEs" (W.reference ~size:12) o.Farm.result
+
+let farm_closures () =
+  let captured = [ 3; 1; 4; 1; 5; 9 ] in
+  let fs = List.map (fun x () -> (x, x * x)) captured in
+  let got = Farm.farm ~procs:2 fs in
+  check
+    (list (pair int int))
+    "closures ran remotely, results in order"
+    (List.map (fun x -> (x, x * x)) captured)
+    got
+
+let rejects_bad_procs () =
+  check_raises "procs = 0" (Invalid_argument "Farm.run: procs must be >= 1")
+    (fun () ->
+      ignore (Farm.run ~procs:0 ~size:10 (module Workload.Sumeuler)))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline and measurement                                            *)
+
+let trace_spans () =
+  let o = quick_run ~trace:true (module Workload.Sumeuler) in
+  let spans = Timeline.of_outcome o in
+  check bool "spans recorded" true (spans <> []);
+  let allowed = [ "schedule"; "wire"; "unpack"; "exec"; "pack" ] in
+  List.iter
+    (fun (s : Timeline.span) ->
+      check bool ("known span name: " ^ s.Timeline.name) true
+        (List.mem s.Timeline.name allowed);
+      check bool "span is ordered" true (s.Timeline.t1_ns >= s.Timeline.t0_ns);
+      check bool "track is coordinator or a PE" true
+        (s.Timeline.track >= -1 && s.Timeline.track < o.Farm.procs))
+    spans;
+  List.iter
+    (fun name ->
+      check bool ("has a " ^ name ^ " span") true
+        (List.exists (fun (s : Timeline.span) -> s.Timeline.name = name) spans))
+    allowed;
+  let json =
+    Repro_util.Json_out.to_string (Timeline.to_chrome ~procs:o.Farm.procs spans)
+  in
+  check bool "chrome document" true (contains ~sub:"\"traceEvents\"" json);
+  check bool "coordinator track named" true (contains ~sub:"coordinator" json);
+  check bool "PE track named" true (contains ~sub:"PE 1" json)
+
+let untraced_runs_have_no_spans () =
+  let o = quick_run (module Workload.Parfib) in
+  check (list reject) "no spans without ~trace" [] (Timeline.of_outcome o)
+
+let measure_sweep_and_json () =
+  let module W = Workload.Sumeuler in
+  let ms =
+    Measure.sweep ~repeats:1 ~procs_list:[ 1; 2 ] ~size:W.quick_size (module W)
+  in
+  check int "one row per process count" 2 (List.length ms);
+  let base = List.hd ms in
+  check (float 1e-9) "baseline speedup is 1" 1.0 base.Measure.speedup;
+  List.iter
+    (fun (m : Measure.measurement) ->
+      check int "checksum stable across repeats"
+        (W.reference ~size:W.quick_size)
+        m.Measure.result;
+      check int "per-PE rows" m.Measure.procs (Array.length m.Measure.per_pe);
+      check bool "positive mean" true (m.Measure.mean_ns > 0.))
+    ms;
+  let doc =
+    Measure.json_document
+      ~header:
+        (Repro_exec.Harness.env_header ~backend:"processes"
+           ~transport:"socketpair" ())
+      ms
+  in
+  let s = Repro_util.Json_out.to_string doc in
+  check bool "schema id" true (contains ~sub:"repro/bench-dist/v1" s);
+  check bool "backend recorded" true (contains ~sub:"\"processes\"" s);
+  check bool "transport recorded" true (contains ~sub:"\"socketpair\"" s);
+  check bool "per-PE counters present" true (contains ~sub:"\"per_pe\"" s)
+
+let suite =
+  ( "dist",
+    [
+      test_case "wire codec edge sizes" `Quick codec_edge_cases;
+      QCheck_alcotest.to_alcotest codec_qcheck;
+      test_case "wire codec message stream" `Quick codec_stream;
+      test_case "wire codec rejects every truncation" `Quick codec_truncation;
+      test_case "wire codec rejects unknown flags" `Quick
+        codec_rejects_bad_flags;
+      test_case "packets_of_len arithmetic" `Quick packets_of_len_cases;
+      test_case "socketpair round trip and counters" `Quick
+        fd_roundtrip_counters;
+      test_case "socketpair multi-packet message" `Quick fd_multi_packet;
+      test_case "clean EOF at a frame boundary" `Quick fd_clean_eof;
+      test_case "EOF mid-frame is Truncated" `Quick fd_truncated_frame;
+      test_case "send to a dead peer" `Quick fd_dead_peer_send;
+      test_case "two-process exactly-once ledger" `Quick exactly_once_ledger;
+      test_case "all workloads match sequential references" `Quick
+        all_workloads_match_reference;
+      test_case "apsp awkward shapes" `Quick apsp_awkward_shapes;
+      test_case "more PEs than tasks" `Quick more_procs_than_tasks;
+      test_case "closure farm" `Quick farm_closures;
+      test_case "rejects procs < 1" `Quick rejects_bad_procs;
+      test_case "traced run emits timeline spans" `Quick trace_spans;
+      test_case "untraced run has no spans" `Quick untraced_runs_have_no_spans;
+      test_case "measure sweep and JSON document" `Quick measure_sweep_and_json;
+    ] )

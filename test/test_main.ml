@@ -1,4 +1,10 @@
-(** Test runner: aggregates every suite. *)
+(** Test runner: aggregates every suite.
+
+    The distributed-executor tests re-execute this binary as their
+    worker processes, so the worker hook must run before Alcotest
+    parses argv. *)
+
+let () = Repro_dist.Worker.maybe_run Sys.argv
 
 let () =
   Alcotest.run "repro"
@@ -21,4 +27,5 @@ let () =
       Test_experiments.suite;
       Test_analysis.suite;
       Test_tracer.suite;
+      Test_dist.suite;
     ]
