@@ -24,6 +24,22 @@ let quick =
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
+(* [--dist-transport sock|shm] selects the wire for the eden-vs-gph
+   section (socketpair framing vs shared-memory rings). *)
+let dist_transport =
+  let rec find = function
+    | "--dist-transport" :: v :: _ -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  match find (Array.to_list Sys.argv) with
+  | None | Some "sock" -> Repro_dist.Farm.Sock
+  | Some "shm" -> Repro_dist.Farm.Shm
+  | Some other ->
+      Printf.eprintf "bench: unknown --dist-transport %s (want sock|shm)\n"
+        other;
+      exit 2
+
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -159,6 +175,321 @@ let sim_vs_real () =
 (* Part 1b': Eden-style processes vs GpH-style domains                 *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Part 1b'': transport calibration                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Repro_dist.Wire
+module Shm_ring = Repro_dist.Shm_ring
+
+let now_ns () = Repro_dist.Clock.now_ns ()
+
+(* Echo servers for the calibration: bounce every message back until
+   the parent closes the link. *)
+let transport_echo_child () =
+  let conn = Wire.create ~read_fd:Unix.stdin ~write_fd:Unix.stdout () in
+  (try
+     while true do
+       Wire.send conn (Wire.recv conn)
+     done
+   with End_of_file -> ());
+  exit 0
+
+(* The shm variant: the segment path arrives as the argument after the
+   marker, stdin is the doorbell (exactly the dist-worker convention). *)
+let shm_echo_child path =
+  let conn = Shm_ring.attach ~path ~side:`B ~doorbell:Unix.stdin () in
+  (try
+     while true do
+       Shm_ring.send conn (Shm_ring.recv conn)
+     done
+   with End_of_file -> ());
+  exit 0
+
+let with_echo_child f =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec parent_fd;
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--transport-echo" |]
+      child_fd child_fd Unix.stderr
+  in
+  Unix.close child_fd;
+  let conn = Wire.create ~read_fd:parent_fd ~write_fd:parent_fd () in
+  let r = f conn in
+  Wire.close conn;
+  ignore (Unix.waitpid [] pid);
+  r
+
+let with_shm_echo_child f =
+  let path = Shm_ring.create_segment () in
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec parent_fd;
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--transport-echo-shm"; path |]
+      child_fd Unix.stdout Unix.stderr
+  in
+  Unix.close child_fd;
+  let conn = Shm_ring.attach ~path ~side:`A ~doorbell:parent_fd () in
+  let r = f conn in
+  Shm_ring.close conn;
+  (* closing the doorbell is the child's EOF *)
+  ignore (Unix.waitpid [] pid);
+  Shm_ring.unlink_segment path;
+  r
+
+(* Round-trip measurements over either transport, from which the
+   measured profile constants fall out. *)
+type rtt = {
+  small_rt_ns : int;
+  big_rt_ns : int;
+  per_message_ns : int;
+  big_bytes : int;
+}
+
+let measure_rtt ~send ~recv =
+  let round_trip payload n =
+    let t0 = now_ns () in
+    for _ = 1 to n do
+      send payload;
+      ignore (recv ())
+    done;
+    (now_ns () - t0) / n
+  in
+  (* warm-up: page in both processes' paths *)
+  ignore (round_trip "x" 200);
+  let small_rt_ns = round_trip "x" (if quick then 500 else 3000) in
+  let big_bytes = 1 lsl 20 in
+  let big_rt_ns =
+    round_trip (String.make big_bytes 'y') (if quick then 10 else 50)
+  in
+  (* send-side fixed overhead: back-to-back sends.  The burst must
+     stay well under the backpressure limit on both directions at
+     once, since the echoes are only drained afterwards: under the
+     socket buffer in kernel skb accounting terms (~1 KiB per tiny
+     send) for the socketpair, under half the ring capacity for the
+     shm rings — 100 is safely inside both. *)
+  let burst = 100 in
+  let t0 = now_ns () in
+  for _ = 1 to burst do
+    send "x"
+  done;
+  let per_message_ns = (now_ns () - t0) / burst in
+  for _ = 1 to burst do
+    ignore (recv ())
+  done;
+  { small_rt_ns; big_rt_ns; per_message_ns; big_bytes }
+
+let profile_of_rtt ~name ~pack_ns_per_byte ~unpack_ns_per_byte ~packet_bytes
+    (r : rtt) =
+  let latency_ns = max 0 ((r.small_rt_ns / 2) - r.per_message_ns) in
+  let wire_ns_per_byte =
+    max 0.0
+      (float_of_int (r.big_rt_ns - r.small_rt_ns)
+      /. 2.0
+      /. float_of_int r.big_bytes)
+  in
+  Repro_mp.Transport.measured ~name ~latency_ns
+    ~per_message_ns:r.per_message_ns ~wire_ns_per_byte ~pack_ns_per_byte
+    ~unpack_ns_per_byte ~packet_bytes ()
+
+(* Marshal throughput on a representative flat payload — the pack and
+   unpack costs of the socketpair control plane. *)
+let marshal_costs () =
+  let arr = Array.init (128 * 1024) float_of_int in
+  let s = Marshal.to_string arr [] in
+  let bytes = String.length s in
+  let reps = if quick then 20 else 100 in
+  let t0 = now_ns () in
+  for _ = 1 to reps do
+    ignore (Marshal.to_string arr [])
+  done;
+  let pack =
+    float_of_int (now_ns () - t0) /. float_of_int reps /. float_of_int bytes
+  in
+  let t0 = now_ns () in
+  for _ = 1 to reps do
+    ignore (Marshal.from_string s 0 : float array)
+  done;
+  let unpack =
+    float_of_int (now_ns () - t0) /. float_of_int reps /. float_of_int bytes
+  in
+  (pack, unpack)
+
+type calibration = {
+  cal_sock : Repro_mp.Transport.t;
+  cal_shm : Repro_mp.Transport.t;
+  sock_small_rt_ns : int;  (** cross-process ping-pong round trip *)
+  shm_small_rt_ns : int;
+  sock_small_one_way_ns : int;  (** one message across the transport *)
+  shm_small_one_way_ns : int;
+}
+
+(* One-way small-message cost, both endpoints in this process so no
+   scheduler is involved: what one message costs in software.  For the
+   socketpair that is a write plus a read system call; for the ring it
+   is a few cache-line transfers and no kernel at all — the hot-path
+   difference the ping-pong numbers above bury in context-switch time
+   on a loaded (or single-core) machine. *)
+let small_one_way ~send ~recv =
+  let n = if quick then 2_000 else 20_000 in
+  for _ = 1 to 100 do
+    send "x";
+    ignore (recv ())
+  done;
+  let t0 = now_ns () in
+  for _ = 1 to n do
+    send "x";
+    ignore (recv ())
+  done;
+  (now_ns () - t0) / n
+
+let sock_one_way () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ca = Wire.create ~read_fd:a ~write_fd:a ()
+  and cb = Wire.create ~read_fd:b ~write_fd:b () in
+  let r =
+    small_one_way ~send:(Wire.send ca) ~recv:(fun () -> Wire.recv cb)
+  in
+  Unix.close a;
+  Unix.close b;
+  r
+
+(* In-process shm costs: the one-way small-message figure plus a
+   bulk-bandwidth figure (64 KiB messages, well inside the ring), from
+   which the measured-shm profile constants come — the cross-process
+   ping-pong would bake context-switch time into them. *)
+let shm_inproc_costs () =
+  let path = Shm_ring.create_segment () in
+  let a = Shm_ring.attach ~path ~side:`A () in
+  let b = Shm_ring.attach ~path ~side:`B () in
+  let small =
+    small_one_way ~send:(Shm_ring.send a) ~recv:(fun () -> Shm_ring.recv b)
+  in
+  (* bulk bandwidth on the float plane — the plane matmul blocks and
+     mandelbrot rows actually ride — where frames are written into and
+     read out of the mapping in place *)
+  let elems = 8192 in
+  let big_bytes = 8 * elems in
+  let payload = Array.make elems 1.5 in
+  let n = if quick then 200 else 2000 in
+  let t0 = now_ns () in
+  for _ = 1 to n do
+    Shm_ring.send_floats a payload;
+    ignore (Shm_ring.recv_floats b ~len:elems)
+  done;
+  let big = (now_ns () - t0) / n in
+  Shm_ring.unlink_segment path;
+  (small, max 0.0 (float_of_int (big - small) /. float_of_int big_bytes))
+
+(* Both measured profiles, computed once: socketpair + Marshal (the
+   control plane) and shm rings, whose float plane needs no
+   marshalling at all — frames are written into and read out of the
+   mapping in place, so the measured pack/unpack costs are zero by
+   construction. *)
+let measured_calibration =
+  lazy
+    (let pack, unpack = marshal_costs () in
+     let sock_rtt =
+       with_echo_child (fun conn ->
+           measure_rtt ~send:(Wire.send conn) ~recv:(fun () -> Wire.recv conn))
+     in
+     let shm_rtt =
+       with_shm_echo_child (fun conn ->
+           measure_rtt
+             ~send:(Shm_ring.send conn)
+             ~recv:(fun () -> Shm_ring.recv conn))
+     in
+     let shm_small_ns, shm_wire_ns_per_byte = shm_inproc_costs () in
+     {
+       cal_sock =
+         profile_of_rtt ~name:"measured-sock" ~pack_ns_per_byte:pack
+           ~unpack_ns_per_byte:unpack ~packet_bytes:Wire.default_packet_bytes
+           sock_rtt;
+       cal_shm =
+         Repro_mp.Transport.measured ~name:"measured-shm" ~latency_ns:0
+           ~per_message_ns:shm_small_ns
+           ~wire_ns_per_byte:shm_wire_ns_per_byte ~pack_ns_per_byte:0.0
+           ~unpack_ns_per_byte:0.0 ~packet_bytes:32768 ();
+       sock_small_rt_ns = sock_rtt.small_rt_ns;
+       shm_small_rt_ns = shm_rtt.small_rt_ns;
+       sock_small_one_way_ns = sock_one_way ();
+       shm_small_one_way_ns = shm_small_ns;
+     })
+
+let json_of_profile (p : Repro_mp.Transport.t) =
+  Repro_util.Json_out.Obj
+    [
+      ("name", Repro_util.Json_out.Str p.name);
+      ("latency_ns", Repro_util.Json_out.Int p.latency_ns);
+      ("per_message_ns", Repro_util.Json_out.Int p.per_message_ns);
+      ("wire_ns_per_byte", Repro_util.Json_out.Float p.wire_ns_per_byte);
+      ("pack_ns_per_byte", Repro_util.Json_out.Float p.pack_ns_per_byte);
+      ("unpack_ns_per_byte", Repro_util.Json_out.Float p.unpack_ns_per_byte);
+      ("packet_bytes", Repro_util.Json_out.Int p.packet_bytes);
+    ]
+
+let calibration_json () =
+  let c = Lazy.force measured_calibration in
+  Repro_util.Json_out.Obj
+    [
+      ("profiles", Repro_util.Json_out.List
+         [ json_of_profile c.cal_sock; json_of_profile c.cal_shm ]);
+      ("sock_small_rt_ns", Repro_util.Json_out.Int c.sock_small_rt_ns);
+      ("shm_small_rt_ns", Repro_util.Json_out.Int c.shm_small_rt_ns);
+      ( "sock_small_one_way_ns",
+        Repro_util.Json_out.Int c.sock_small_one_way_ns );
+      ("shm_small_one_way_ns", Repro_util.Json_out.Int c.shm_small_one_way_ns);
+    ]
+
+(* Calibrate [Transport.measured] profiles from this machine: round
+   trips over a real socketpair and a real shm ring pair give latency
+   / per-message / per-byte wire costs, a Marshal micro-benchmark
+   gives the control plane's pack/unpack throughput.  These are the
+   measured analogues of the modelled pvm/mpi/shm profiles. *)
+let transport_calibration () =
+  hr "Transport calibration: measured socketpair and shm rings, vs modelled \
+      profiles";
+  let c = Lazy.force measured_calibration in
+  let t =
+    Repro_util.Tablefmt.create
+      ~aligns:
+        Repro_util.Tablefmt.[ Left; Right; Right; Right; Right; Right; Right ]
+      [
+        "profile"; "latency ns"; "per-msg ns"; "wire ns/B"; "pack ns/B";
+        "unpack ns/B"; "packet B";
+      ]
+  in
+  List.iter
+    (fun (p : Repro_mp.Transport.t) ->
+      Repro_util.Tablefmt.add_row t
+        [
+          p.name;
+          string_of_int p.latency_ns;
+          string_of_int p.per_message_ns;
+          Printf.sprintf "%.3f" p.wire_ns_per_byte;
+          Printf.sprintf "%.3f" p.pack_ns_per_byte;
+          Printf.sprintf "%.3f" p.unpack_ns_per_byte;
+          string_of_int p.packet_bytes;
+        ])
+    (Repro_mp.Transport.all @ [ c.cal_sock; c.cal_shm ]);
+  Repro_util.Tablefmt.print t;
+  Printf.printf
+    "small-packet cross-process ping-pong: socketpair %d ns vs shm ring %d \
+     ns (%.1fx; scheduler-bound when PEs outnumber cores)\n"
+    c.sock_small_rt_ns c.shm_small_rt_ns
+    (float_of_int c.sock_small_rt_ns /. float_of_int (max 1 c.shm_small_rt_ns));
+  Printf.printf
+    "small-packet one-way software cost: socketpair %d ns (two syscalls) vs \
+     shm ring %d ns (no kernel) — %.1fx\n"
+    c.sock_small_one_way_ns c.shm_small_one_way_ns
+    (float_of_int c.sock_small_one_way_ns
+    /. float_of_int (max 1 c.shm_small_one_way_ns));
+  Printf.printf
+    "(measured = this machine; modelled rows are the paper-era middleware \
+     profiles)\n"
+
 module Dist_workload = Repro_dist.Workload
 module Dist_measure = Repro_dist.Measure
 
@@ -169,7 +500,12 @@ module Dist_measure = Repro_dist.Measure
    same sizes and the same PE ladder and both must reproduce the
    sequential checksum bit-for-bit. *)
 let eden_vs_gph () =
-  hr "Eden-style processes vs GpH-style domains (measured, this machine)";
+  let transport_name = Repro_dist.Farm.transport_name dist_transport in
+  hr
+    (Printf.sprintf
+       "Eden-style processes (%s transport) vs GpH-style domains (measured, \
+        this machine)"
+       transport_name);
   let hw = Domain.recommended_domain_count () in
   let ladder = Exec_harness.core_counts_up_to (max 4 (min hw 8)) in
   if List.exists (fun c -> c > hw) ladder then
@@ -187,7 +523,8 @@ let eden_vs_gph () =
         let size = if quick then D.quick_size else D.default_size in
         let reference = D.reference ~size in
         let dms =
-          Dist_measure.sweep ~repeats ~procs_list:ladder ~size (module D)
+          Dist_measure.sweep ~repeats ~transport:dist_transport
+            ~procs_list:ladder ~size (module D)
         in
         let ems =
           Exec_harness.sweep ~repeats ~cores_list:ladder ~size (module W)
@@ -238,7 +575,8 @@ let eden_vs_gph () =
          ( "env",
            Repro_util.Json_out.Obj
              (Exec_harness.env_header ~backend:"processes"
-                ~transport:"socketpair" ()) );
+                ~transport:transport_name ()) );
+         ("transport_calibration", calibration_json ());
          ( "measurements",
            Repro_util.Json_out.List
              (List.map Dist_measure.json_of_measurement dist_ms) );
@@ -256,135 +594,6 @@ let eden_vs_gph () =
   Printf.printf
     "\nwrote BENCH_dist.json (%d process measurements + %d domain baselines)\n"
     (List.length dist_ms) (List.length exec_ms)
-
-(* ------------------------------------------------------------------ *)
-(* Part 1b'': transport calibration                                    *)
-(* ------------------------------------------------------------------ *)
-
-module Wire = Repro_dist.Wire
-
-let now_ns () = Repro_dist.Clock.now_ns ()
-
-(* Echo server for the calibration: bounce every message back until
-   the parent closes the socket. *)
-let transport_echo_child () =
-  let conn = Wire.create ~read_fd:Unix.stdin ~write_fd:Unix.stdout () in
-  (try
-     while true do
-       Wire.send conn (Wire.recv conn)
-     done
-   with End_of_file -> ());
-  exit 0
-
-let with_echo_child f =
-  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.set_close_on_exec parent_fd;
-  let pid =
-    Unix.create_process Sys.executable_name
-      [| Sys.executable_name; "--transport-echo" |]
-      child_fd child_fd Unix.stderr
-  in
-  Unix.close child_fd;
-  let conn = Wire.create ~read_fd:parent_fd ~write_fd:parent_fd () in
-  let r = f conn in
-  Wire.close conn;
-  ignore (Unix.waitpid [] pid);
-  r
-
-(* Calibrate a [Transport.measured] profile from this machine:
-   socketpair round-trips give latency / per-message / per-byte wire
-   costs, a Marshal micro-benchmark gives pack/unpack throughput.
-   This is the measured analogue of the modelled pvm/mpi/shm
-   profiles. *)
-let transport_calibration () =
-  hr "Transport calibration: socketpair + Marshal, vs modelled profiles";
-  let profile =
-    with_echo_child (fun conn ->
-        let round_trip payload n =
-          let t0 = now_ns () in
-          for _ = 1 to n do
-            Wire.send conn payload;
-            ignore (Wire.recv conn)
-          done;
-          (now_ns () - t0) / n
-        in
-        (* warm-up: page in both processes' paths *)
-        ignore (round_trip "x" 200);
-        let small_rt = round_trip "x" (if quick then 500 else 3000) in
-        let big_bytes = 1 lsl 20 in
-        let big_rt =
-          round_trip (String.make big_bytes 'y') (if quick then 10 else 50)
-        in
-        (* send-side fixed overhead: back-to-back sends.  The burst
-           must stay well under the socket buffer in {e kernel skb
-           accounting} terms (~1 KiB per tiny send, not 6 bytes) on
-           both directions at once, since the echoes are only drained
-           afterwards — 100 is safely inside the default 208 KiB. *)
-        let burst = 100 in
-        let t0 = now_ns () in
-        for _ = 1 to burst do
-          Wire.send conn "x"
-        done;
-        let per_message_ns = (now_ns () - t0) / burst in
-        for _ = 1 to burst do
-          ignore (Wire.recv conn)
-        done;
-        let latency_ns = max 0 ((small_rt / 2) - per_message_ns) in
-        let wire_ns_per_byte =
-          max 0.0
-            (float_of_int (big_rt - small_rt)
-            /. 2.0
-            /. float_of_int big_bytes)
-        in
-        (* Marshal throughput on a representative flat payload *)
-        let arr = Array.init (128 * 1024) float_of_int in
-        let s = Marshal.to_string arr [] in
-        let bytes = String.length s in
-        let reps = if quick then 20 else 100 in
-        let t0 = now_ns () in
-        for _ = 1 to reps do
-          ignore (Marshal.to_string arr [])
-        done;
-        let pack_ns_per_byte =
-          float_of_int (now_ns () - t0) /. float_of_int reps /. float_of_int bytes
-        in
-        let t0 = now_ns () in
-        for _ = 1 to reps do
-          ignore (Marshal.from_string s 0 : float array)
-        done;
-        let unpack_ns_per_byte =
-          float_of_int (now_ns () - t0) /. float_of_int reps /. float_of_int bytes
-        in
-        Repro_mp.Transport.measured ~latency_ns ~per_message_ns
-          ~wire_ns_per_byte ~pack_ns_per_byte ~unpack_ns_per_byte
-          ~packet_bytes:Wire.default_packet_bytes ())
-  in
-  let t =
-    Repro_util.Tablefmt.create
-      ~aligns:
-        Repro_util.Tablefmt.[ Left; Right; Right; Right; Right; Right; Right ]
-      [
-        "profile"; "latency ns"; "per-msg ns"; "wire ns/B"; "pack ns/B";
-        "unpack ns/B"; "packet B";
-      ]
-  in
-  List.iter
-    (fun (p : Repro_mp.Transport.t) ->
-      Repro_util.Tablefmt.add_row t
-        [
-          p.name;
-          string_of_int p.latency_ns;
-          string_of_int p.per_message_ns;
-          Printf.sprintf "%.3f" p.wire_ns_per_byte;
-          Printf.sprintf "%.3f" p.pack_ns_per_byte;
-          Printf.sprintf "%.3f" p.unpack_ns_per_byte;
-          string_of_int p.packet_bytes;
-        ])
-    (Repro_mp.Transport.all @ [ profile ]);
-  Repro_util.Tablefmt.print t;
-  Printf.printf
-    "(measured = this machine's socketpair + Marshal; modelled rows are the \
-     paper-era middleware profiles)\n"
 
 (* Machine-readable dump of the existing Fig. 1 reproduction numbers,
    next to the paper's reported seconds. *)
@@ -716,6 +925,7 @@ let () =
   Repro_dist.Worker.maybe_run Sys.argv;
   let argv = Array.to_list Sys.argv in
   if List.mem "--transport-echo" argv then transport_echo_child ()
+  else if List.mem "--transport-echo-shm" argv then shm_echo_child Sys.argv.(2)
   else if List.mem "--minor-heap-child" argv then minor_heap_child ()
   else if List.mem "--minor-heap" argv then minor_heap_sweep ()
   else if List.mem "--transport" argv then transport_calibration ()

@@ -498,8 +498,23 @@ let dist_cmd =
              chrome://tracing)."
           ~docv:"FILE.json")
   in
+  let transport =
+    let doc =
+      "Transport between coordinator and PEs: $(b,sock) frames messages \
+       over a socketpair per worker (star topology, FISH via the \
+       coordinator); $(b,shm) maps a pair of shared-memory rings per link \
+       plus a peer-to-peer mesh (zero-copy float payloads, FISH directly \
+       between workers)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum [ ("sock", Repro_dist.Farm.Sock); ("shm", Repro_dist.Farm.Shm) ])
+          Repro_dist.Farm.Sock
+      & info [ "transport" ] ~doc ~docv:"sock|shm")
+  in
   let run (module W : Workload.S) procs size repeat sweep_flag json_file
-      trace_file quick out =
+      trace_file transport quick out =
     let hw = Domain.recommended_domain_count () in
     let procs = match procs with Some p -> max 1 p | None -> hw in
     let size =
@@ -518,14 +533,17 @@ let dist_cmd =
       else [ 1; procs ]
     in
     let reference = W.reference ~size in
-    let ms = Measure.sweep ~repeats:repeat ~procs_list ~size (module W) in
+    let ms =
+      Measure.sweep ~repeats:repeat ~transport ~procs_list ~size (module W)
+    in
+    let transport_name = Repro_dist.Farm.transport_name transport in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf
       (Printf.sprintf
-         "distributed execution (one process per PE, socketpair transport): \
-          %s, size %d (%s)\n\
+         "distributed execution (one process per PE, %s transport): %s, size \
+          %d (%s)\n\
           %d hardware core(s), %d timed run(s) per point\n"
-         W.name size W.size_doc hw repeat);
+         transport_name W.name size W.size_doc hw repeat);
     Buffer.add_string buf (Repro_util.Tablefmt.to_string (Measure.to_table ms));
     List.iter
       (fun (m : Measure.measurement) ->
@@ -548,7 +566,7 @@ let dist_cmd =
     | Some path ->
         let header =
           Repro_exec.Harness.env_header ~backend:"processes"
-            ~transport:"socketpair" ()
+            ~transport:transport_name ()
         in
         Repro_util.Json_out.to_file path (Measure.json_document ~header ms);
         Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
@@ -556,7 +574,9 @@ let dist_cmd =
     (match trace_file with
     | None -> ()
     | Some path ->
-        let o = Repro_dist.Farm.run ~trace:true ~procs ~size (module W) in
+        let o =
+          Repro_dist.Farm.run ~trace:true ~transport ~procs ~size (module W)
+        in
         if o.Repro_dist.Farm.result <> reference then
           failwith "traced run: result differs from sequential reference";
         Repro_dist.Timeline.write_chrome ~procs ~path o;
@@ -571,12 +591,13 @@ let dist_cmd =
     (Cmd.info "dist"
        ~doc:
          "Run a workload on the multi-process Eden/GUM-style backend (one \
-          worker process per PE, private heaps, framed socketpair messages, \
-          FISH/SCHEDULE demand scheduling) and report wall-clock speedups \
-          plus message/byte/GC counters")
+          worker process per PE, private heaps, FISH/SCHEDULE demand \
+          scheduling over framed socketpair messages or shared-memory rings \
+          -- $(b,--transport)) and report wall-clock speedups plus \
+          message/byte/GC counters")
     Term.(
       const run $ workload $ procs $ size $ repeat $ sweep_flag $ json_file
-      $ trace_file $ quick $ out_file)
+      $ trace_file $ transport $ quick $ out_file)
 
 (* ---------------- profile: post-hoc trace analysis ---------------- *)
 

@@ -404,7 +404,15 @@ let spark_purity =
    spelled: [Stdlib.Atomic], a [module A = Atomic] alias, or an [open])
    is invisible to DPOR and the race detector; [Obj.magic] defeats the
    type system outright.  The shim itself and the checker's tracing
-   cells are exempt by path. *)
+   cells are exempt by path.
+
+   lib/dist is deliberately NOT exempt: the shared-memory ring
+   transport (lib/dist/shm_ring.ml) keeps its mmap'd head/tail/sleeping
+   control words behind the shim's [Tatomic.WORD] and [Fence]
+   interfaces, which is the sanctioned pattern -- lib/check instantiates
+   the same ring functor over traced cells to model-check the SPSC
+   handshake.  A raw [Atomic] cursor there would silently fall out of
+   the model (see the dist_ring_* fixtures). *)
 
 let atomics_discipline =
   let id = "atomics-discipline" in

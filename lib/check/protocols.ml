@@ -19,6 +19,14 @@
       wake generation, re-check, wait on [tasks or generation change].
       The mutant that re-checks {e before} announcing loses the wakeup
       and deadlocks, which the checker reports with the interleaving.
+    - {b SPSC ring} (the shm transport's frame handshake): the real
+      {!Repro_dist.Shm_ring.Spsc} functor over traced control words —
+      write the slot {e then} publish the tail; observe, read, {e then}
+      release.  Explored at capacity 1 (every push wraps and waits on
+      backpressure) and capacity 2 (producer and consumer overlap).
+      The mutant that publishes the tail before the slot holds the
+      value hands the consumer a stale slot — the exact reordering the
+      production ring's fences forbid.
 
     The mutants are distilled (small named cells) so their violation
     traces read as a story. *)
@@ -395,6 +403,126 @@ let pool_lost_wakeup_mutant () =
   )
 
 (* ------------------------------------------------------------------ *)
+(* SPSC ring (shm transport frame handshake)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The production handshake itself: [Shm_ring]'s [Spsc] functor
+   instantiated with traced cells as the control words and a plain
+   array as the (unfenced) slot storage — exactly the production
+   shape, where the data frames are plain mapped memory and only
+   head/tail are control words. *)
+module Spsc_word = struct
+  type t = int Sched.Atomic.t
+
+  let load = Sched.Atomic.get
+  let store = Sched.Atomic.set
+end
+
+module Ring = Repro_dist.Shm_ring.Spsc (Spsc_word)
+
+let make_ring cap =
+  let tail = Sched.Atomic.make 0 and head = Sched.Atomic.make 0 in
+  Sched.set_name tail "tail";
+  Sched.set_name head "head";
+  List.iter (fun c -> Sched.set_printer c string_of_int) [ tail; head ];
+  let slots = Array.make cap 0 in
+  Ring.create ~cap ~tail ~head ~get:(Array.get slots) ~set:(Array.set slots)
+
+(* Blocking in SPSC terms: each side waits (read-only predicate, as
+   [wait_until] requires) until its operation cannot fail — sound
+   because it is the only pusher resp. popper. *)
+let push_block r v =
+  Sched.wait_until (fun () -> Ring.length r < r.Ring.cap);
+  if not (Ring.try_push r v) then failwith "push failed below capacity"
+
+let pop_block r =
+  Sched.wait_until (fun () -> Ring.length r > 0);
+  match Ring.try_pop r with
+  | Some v -> v
+  | None -> failwith "pop failed on non-empty ring"
+
+let spsc_scenario ~cap ~values () =
+  let r = make_ring cap in
+  let got = ref [] and ngot = ref 0 in
+  let record v =
+    got := v :: !got;
+    incr ngot
+  in
+  ( [
+      ("producer", fun () -> List.iter (fun v -> push_block r v) values);
+      ( "consumer",
+        fun () ->
+          (* eager probe that may catch the ring still empty: keeps
+             the schedule genuinely branching even at capacity 1,
+             where the blocking waits otherwise force one alternation *)
+          (match Ring.try_pop r with Some v -> record v | None -> ());
+          while !ngot < List.length values do
+            record (pop_block r)
+          done );
+    ],
+    fun () ->
+      let got = List.rev !got in
+      if got <> values then
+        failwith
+          (Printf.sprintf "consumed %s, want %s in order" (pp_consumed got)
+             (pp_consumed values));
+      if Ring.length r <> 0 then failwith "ring not empty at the end" )
+
+(* cap 1: the cursors lap the ring on every element, so each push
+   waits out backpressure and each slot index is reused. *)
+let spsc_wrap () = spsc_scenario ~cap:1 ~values:[ 1; 2; 3 ] ()
+
+(* cap 2: producer and consumer genuinely overlap inside the ring. *)
+let spsc_overlap () = spsc_scenario ~cap:2 ~values:[ 1; 2; 3 ] ()
+
+(* Mutant: the push publishes the new tail *before* the slot holds the
+   value.  A consumer scheduled into that window observes the bumped
+   tail, reads the stale slot, and hands out a value that was never
+   pushed — the reordering [Shm_ring.write_frame]'s
+   publish-after-write discipline (and its fence) forbids. *)
+let spsc_publish_before_write_mutant () =
+  let cap = 2 in
+  let tail = Sched.Atomic.make 0 and head = Sched.Atomic.make 0 in
+  let slots = Array.init cap (fun _ -> Sched.Atomic.make 0) in
+  Sched.set_name tail "tail";
+  Sched.set_name head "head";
+  Array.iteri (fun i c -> Sched.set_name c (Printf.sprintf "slot%d" i)) slots;
+  List.iter
+    (fun c -> Sched.set_printer c string_of_int)
+    (tail :: head :: Array.to_list slots);
+  let push v =
+    let t = Sched.Atomic.get tail in
+    (* BUG: tail published first; the slot write races the consumer *)
+    Sched.Atomic.set tail (t + 1);
+    Sched.Atomic.set slots.(t mod cap) v
+  in
+  let pop_block () =
+    Sched.wait_until
+      (fun () -> Sched.Atomic.get tail - Sched.Atomic.get head > 0);
+    let h = Sched.Atomic.get head in
+    let v = Sched.Atomic.get slots.(h mod cap) in
+    Sched.Atomic.set head (h + 1);
+    v
+  in
+  let got = ref [] in
+  ( [
+      ( "producer",
+        fun () ->
+          push 1;
+          push 2 );
+      ( "consumer",
+        fun () ->
+          got := pop_block () :: !got;
+          got := pop_block () :: !got );
+    ],
+    fun () ->
+      let got = List.rev !got in
+      if got <> [ 1; 2 ] then
+        failwith
+          (Printf.sprintf "consumed %s, want [1; 2] in order" (pp_consumed got))
+  )
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -436,6 +564,18 @@ let protocols =
       expect = Must_pass;
       scenario = pool_handshake;
     };
+    {
+      cname = "spsc-ring-wrap";
+      descr = "shm SPSC ring at cap 1: FIFO through full wrap-around (real code)";
+      expect = Must_pass;
+      scenario = spsc_wrap;
+    };
+    {
+      cname = "spsc-ring-overlap";
+      descr = "shm SPSC ring at cap 2: producer/consumer overlap (real code)";
+      expect = Must_pass;
+      scenario = spsc_overlap;
+    };
   ]
 
 let mutants =
@@ -457,6 +597,12 @@ let mutants =
       descr = "check-then-park: pusher misses sleeper, worker deadlocks";
       expect = Must_fail;
       scenario = pool_lost_wakeup_mutant;
+    };
+    {
+      cname = "mutant-spsc-publish-before-write";
+      descr = "ring push publishes tail before the slot: stale read";
+      expect = Must_fail;
+      scenario = spsc_publish_before_write_mutant;
     };
   ]
 

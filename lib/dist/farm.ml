@@ -1,23 +1,37 @@
 (** Coordinator of the distributed executor: spawns one worker process
-    per PE, connects each over a socketpair, and drives barrier rounds
-    of tasks with GUM-style demand scheduling.
+    per PE, connects each over the selected transport, and drives
+    barrier rounds of tasks with GUM-style demand scheduling.
 
-    Placement is round-robin for the initial dispatch (each PE is
-    primed with {!prefetch} tasks, Eden's master-worker prefetch);
-    afterwards work moves on demand — an idle PE sends [Fish] and the
-    coordinator answers with a [Schedule] or [No_work] (paper
-    Sec. III-B).  Pinned rounds (APSP) bypass demand scheduling: task
-    [i] always goes to PE [i mod procs], because the PE holds the
+    Two transports, two topologies (the paper's PVM-on-sockets vs
+    PVM-on-shared-memory comparison):
+
+    - {e sock} (star): placement is round-robin for the initial
+      dispatch (each PE primed with {!prefetch} tasks, Eden's
+      master-worker prefetch); afterwards work moves on demand — an
+      idle PE sends [Fish] {e to the coordinator} and is answered with
+      a [Schedule] or [No_work] (paper Sec. III-B).
+    - {e shm} (mesh): the whole round is pushed round-robin up front
+      (rings are cheap to fill), workers queue tasks locally, and
+      demand balancing happens {e peer-to-peer} — an idle PE fishes a
+      victim worker directly and surplus tasks flow straight back over
+      the p2p ring; the coordinator sees only results and teardown.
+
+    Pinned rounds (APSP) bypass demand scheduling on both transports:
+    task [i] always goes to PE [i mod procs], because the PE holds the
     matching resident state.
 
     The coordinator keeps an exactly-once ledger per round: a result
     for an unknown task, the wrong round, or an already-filled slot is
     a hard failure, not a silent overwrite. *)
 
+type transport = Sock | Shm
+
+let transport_name = function Sock -> "socketpair" | Shm -> "shm"
+
 type link = {
   pe : int;
   pid : int;
-  conn : Wire.conn;
+  conn : Link.t;
   mutable outstanding : int;  (** scheduled but not yet returned *)
 }
 
@@ -36,6 +50,7 @@ type sched_span = {
   sp_task_id : int;
   sp_pe : int;
   sp_round : int;
+  sp_bytes : int;  (** marshalled task payload size *)
   send_start_ns : int;
   send_done_ns : int;
 }
@@ -53,8 +68,9 @@ type outcome = {
   rounds : int;
   tasks : int;
   schedules : int;
-  fishes : int;
+  fishes : int;  (** work requests: coordinator-seen (sock) or peer-to-peer (shm) *)
   no_works : int;
+  stolen : int;  (** tasks that moved worker-to-worker (shm only) *)
   reports : pe_report array;
   sched_spans : sched_span list;  (** newest first; [] unless traced *)
   coord_pack_ns : int;  (** task payload marshalling on the coordinator *)
@@ -64,56 +80,132 @@ type outcome = {
 }
 
 (** How many tasks each PE is primed with before demand scheduling
-    takes over: one executing, one in flight. *)
+    takes over (sock transport; shm pushes whole rounds). *)
 let prefetch = 2
 
-let spawn ?(packet_bytes = Wire.default_packet_bytes) ~worker_argv ~procs ~mode
-    ~trace pe =
-  let parent_fd, child_fd =
-    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
-  in
+(** Peer-to-peer rings carry only FISH/grant traffic — small control
+    messages — so they are far smaller than the coordinator rings. *)
+let p2p_ring_bytes = 64 * 1024
+
+(* ---------------- spawning ---------------- *)
+
+let spawn_process ~worker_argv ~extra_tokens =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (* Later children must not inherit this link, or a dead worker's
      EOF would never reach us. *)
   Unix.set_close_on_exec parent_fd;
+  let argv = Array.append worker_argv (Array.of_list extra_tokens) in
   let pid =
-    Unix.create_process worker_argv.(0) worker_argv child_fd Unix.stdout
-      Unix.stderr
+    Unix.create_process argv.(0) argv child_fd Unix.stdout Unix.stderr
   in
   Unix.close child_fd;
-  let conn = Wire.create ~packet_bytes ~read_fd:parent_fd ~write_fd:parent_fd () in
+  (parent_fd, pid)
+
+let spawn_sock ?(packet_bytes = Wire.default_packet_bytes) ~worker_argv ~procs
+    ~mode ~trace pe =
+  let parent_fd, pid = spawn_process ~worker_argv ~extra_tokens:[] in
+  let conn =
+    Link.Sock (Wire.create ~packet_bytes ~read_fd:parent_fd ~write_fd:parent_fd ())
+  in
   Message.send_hello conn { Message.pe; procs; mode; trace };
   { pe; pid; conn; outstanding = 0 }
+
+(* Spawn the full shm mesh: one segment per coordinator link, one per
+   worker pair.  Segment paths travel in argv; the socketpair becomes
+   the doorbell.  Every file is unlinked as soon as all workers have
+   [Ready]-acknowledged mapping them — a crash before that leaves
+   temp files, which [cleanup] sweeps on the error path. *)
+let spawn_shm ~ring_bytes ~worker_argv ~procs ~mode ~trace =
+  let coord_paths =
+    Array.init procs (fun _ -> Shm_ring.create_segment ~ring_bytes ())
+  in
+  (* mesh segments, key (i, j) with i < j; side `A is the lower pe *)
+  let p2p =
+    if procs < 2 then []
+    else
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun j ->
+              if i < j then
+                Some ((i, j), Shm_ring.create_segment ~ring_bytes:p2p_ring_bytes ())
+              else None)
+            (List.init procs Fun.id))
+        (List.init procs Fun.id)
+  in
+  let all_paths = Array.to_list coord_paths @ List.map snd p2p in
+  let unlink_all () = List.iter Shm_ring.unlink_segment all_paths in
+  try
+    let links =
+      Array.init procs (fun pe ->
+          let tokens =
+            ("shm=" ^ coord_paths.(pe))
+            :: List.filter_map
+                 (fun ((i, j), path) ->
+                   if i = pe then Some (Printf.sprintf "p2p=%d:a:%s" j path)
+                   else if j = pe then Some (Printf.sprintf "p2p=%d:b:%s" i path)
+                   else None)
+                 p2p
+          in
+          let parent_fd, pid = spawn_process ~worker_argv ~extra_tokens:tokens in
+          let conn =
+            Link.Shm
+              (Shm_ring.attach ~path:coord_paths.(pe) ~side:`A
+                 ~doorbell:parent_fd ())
+          in
+          Message.send_hello conn { Message.pe; procs; mode; trace };
+          { pe; pid; conn; outstanding = 0 })
+    in
+    (* each worker acknowledges once every segment is mapped; then the
+       names can go *)
+    Array.iter
+      (fun l ->
+        match Message.recv_to_coordinator l.conn with
+        | Message.Ready -> ()
+        | _ -> failwith "dist: worker spoke before Ready")
+      links;
+    unlink_all ();
+    links
+  with e ->
+    unlink_all ();
+    raise e
 
 let kill_all links =
   Array.iter
     (fun l ->
       (try Unix.kill l.pid Sys.sigkill with Unix.Unix_error _ -> ());
-      (try Wire.close l.conn with Unix.Unix_error _ -> ());
+      (try Link.close l.conn with Unix.Unix_error _ -> ());
       try ignore (Unix.waitpid [] l.pid) with Unix.Unix_error _ -> ())
     links
 
 (* ---------------- one barrier round ---------------- *)
 
 (* Drive [payloads] (pre-marshalled tasks) to completion, returning
-   the marshalled results in task order.  [id0] makes task ids
-   globally unique across rounds. *)
+   the result payloads in task order.  [id0] makes task ids globally
+   unique across rounds. *)
 let exec_round ~(counts : counts) ~trace ~sched_spans ~(links : link array)
-    ~round ~id0 ~pinned (payloads : string array) : string array =
+    ~round ~id0 ~pinned (payloads : string array) : Message.payload array =
   let n = Array.length payloads in
-  let results : string option array = Array.make n None in
+  let results : Message.payload option array = Array.make n None in
   let got = ref 0 in
   let next = ref 0 in
+  let is_shm =
+    Array.length links > 0
+    && match links.(0).conn with Link.Shm _ -> true | Link.Sock _ -> false
+  in
   let send_task (l : link) idx =
     let task_id = id0 + idx in
     let t0 = Clock.now_ns () in
     Message.send_to_worker l.conn
-      (Schedule { task_id; round; payload = payloads.(idx) });
+      (Schedule
+         { task_id; round; stealable = not pinned; payload = payloads.(idx) });
     if trace then
       sched_spans :=
         {
           sp_task_id = task_id;
           sp_pe = l.pe;
           sp_round = round;
+          sp_bytes = String.length payloads.(idx);
           send_start_ns = t0;
           send_done_ns = Clock.now_ns ();
         }
@@ -121,12 +213,67 @@ let exec_round ~(counts : counts) ~trace ~sched_spans ~(links : link array)
     l.outstanding <- l.outstanding + 1;
     counts.schedules <- counts.schedules + 1
   in
-  (* Initial placement: pinned tasks to their owner, otherwise
-     round-robin priming up to [prefetch] per PE. *)
+  let handle_message (l : link) =
+    match Message.recv_to_coordinator l.conn with
+    | Fish ->
+        counts.fishes <- counts.fishes + 1;
+        if (not pinned) && !next < n then begin
+          send_task l !next;
+          incr next
+        end
+        else begin
+          Message.send_to_worker l.conn Message.No_work;
+          counts.no_works <- counts.no_works + 1
+        end
+    | Result { task_id; round = r; payload; blob } ->
+        (* the blob (if any) is queued right behind the control
+           message on the same link: complete it before anything else *)
+        let p = Message.recv_result_payload l.conn ~blob ~payload in
+        if r <> round then
+          failwith
+            (Printf.sprintf "dist: PE %d returned a round-%d result in round %d"
+               l.pe r round);
+        let idx = task_id - id0 in
+        if idx < 0 || idx >= n then
+          failwith
+            (Printf.sprintf "dist: PE %d returned unknown task %d" l.pe task_id);
+        (match results.(idx) with
+        | Some _ ->
+            failwith
+              (Printf.sprintf "dist: duplicate result for task %d (PE %d)"
+                 task_id l.pe)
+        | None -> results.(idx) <- Some p);
+        incr got;
+        l.outstanding <- l.outstanding - 1
+    | Ready -> failwith "dist: stray Ready after spawn"
+    | Stats _ -> failwith "dist: unsolicited Stats before Harvest"
+  in
+  (* Drain whatever is ready on any link, without blocking. *)
+  let pump () =
+    Array.iter
+      (fun l ->
+        while !got < n && Link.input_ready l.conn do
+          handle_message l
+        done)
+      links
+  in
+  (* While a push blocks on a full ring, drain results — the escape
+     from the duplex deadlock (we block pushing a task at a worker
+     that blocks pushing a result at us). *)
+  if is_shm then Array.iter (fun l -> Link.set_on_wait l.conn (Some pump)) links;
+  (* Initial placement: pinned tasks to their owner; shm pushes the
+     whole round round-robin (peer-to-peer fishing balances the rest);
+     sock primes up to [prefetch] per PE and schedules on demand. *)
   if pinned then
     for idx = 0 to n - 1 do
       send_task links.(idx mod Array.length links) idx
     done
+  else if is_shm then begin
+    for idx = 0 to n - 1 do
+      send_task links.(idx mod Array.length links) idx
+    done;
+    next := n
+  end
   else begin
     let continue = ref true in
     while !continue do
@@ -141,52 +288,11 @@ let exec_round ~(counts : counts) ~trace ~sched_spans ~(links : link array)
         links
     done
   end;
-  let by_fd = Hashtbl.create (Array.length links) in
-  Array.iter (fun l -> Hashtbl.replace by_fd (Wire.read_fd l.conn) l) links;
-  let all_fds = Array.to_list (Array.map (fun l -> Wire.read_fd l.conn) links) in
-  let rec select_ready () =
-    match Unix.select all_fds [] [] (-1.0) with
-    | ready, _, _ -> ready
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_ready ()
-  in
+  if is_shm then Array.iter (fun l -> Link.set_on_wait l.conn None) links;
+  let conns = Array.map (fun l -> l.conn) links in
   while !got < n do
-    let ready = select_ready () in
-    List.iter
-      (fun fd ->
-        let l = Hashtbl.find by_fd fd in
-        (* recv never reads past one message, so readiness stays
-           meaningful for the next select. *)
-        match Message.recv_to_coordinator l.conn with
-        | Fish ->
-            counts.fishes <- counts.fishes + 1;
-            if (not pinned) && !next < n then begin
-              send_task l !next;
-              incr next
-            end
-            else begin
-              Message.send_to_worker l.conn Message.No_work;
-              counts.no_works <- counts.no_works + 1
-            end
-        | Result { task_id; round = r; payload } ->
-            if r <> round then
-              failwith
-                (Printf.sprintf "dist: PE %d returned a round-%d result in round %d"
-                   l.pe r round);
-            let idx = task_id - id0 in
-            if idx < 0 || idx >= n then
-              failwith
-                (Printf.sprintf "dist: PE %d returned unknown task %d" l.pe
-                   task_id);
-            (match results.(idx) with
-            | Some _ ->
-                failwith
-                  (Printf.sprintf "dist: duplicate result for task %d (PE %d)"
-                     task_id l.pe)
-            | None -> results.(idx) <- Some payload);
-            incr got;
-            l.outstanding <- l.outstanding - 1
-        | Stats _ -> failwith "dist: unsolicited Stats before Harvest")
-      ready
+    pump ();
+    if !got < n then Link.wait_any conns
   done;
   counts.tasks <- counts.tasks + n;
   counts.rounds <- counts.rounds + 1;
@@ -208,18 +314,19 @@ let harvest (links : link array) : pe_report array =
             (* a stray end-of-round fish racing the harvest *)
             Message.send_to_worker l.conn Message.No_work;
             await ()
+        | Ready -> failwith "dist: stray Ready at harvest"
         | Result _ -> failwith "dist: result arrived after the last round"
         | Stats s -> s
       in
       let stats = await () in
-      { rep_pe = l.pe; rep_pid = l.pid; stats; co = Wire.counters l.conn })
+      { rep_pe = l.pe; rep_pid = l.pid; stats; co = Link.counters l.conn })
     links
 
 let shutdown (links : link array) =
   Array.iter (fun l -> Message.send_to_worker l.conn Message.Shutdown) links;
   Array.iter
     (fun l ->
-      Wire.close l.conn;
+      Link.close l.conn;
       match Unix.waitpid [] l.pid with
       | _, Unix.WEXITED 0 -> ()
       | _, Unix.WEXITED c ->
@@ -230,10 +337,15 @@ let shutdown (links : link array) =
 
 (* ---------------- typed entry points ---------------- *)
 
-let with_links ?packet_bytes ~worker_argv ~procs ~mode ~trace f =
+let with_links ?packet_bytes ?(transport = Sock)
+    ?(ring_bytes = Shm_ring.default_ring_bytes) ~worker_argv ~procs ~mode
+    ~trace f =
   let t0 = Clock.now_ns () in
   let links =
-    Array.init procs (spawn ?packet_bytes ~worker_argv ~procs ~mode ~trace)
+    match transport with
+    | Sock ->
+        Array.init procs (spawn_sock ?packet_bytes ~worker_argv ~procs ~mode ~trace)
+    | Shm -> spawn_shm ~ring_bytes ~worker_argv ~procs ~mode ~trace
   in
   let spawn_ns = Clock.now_ns () - t0 in
   match f links with
@@ -242,18 +354,28 @@ let with_links ?packet_bytes ~worker_argv ~procs ~mode ~trace f =
       kill_all links;
       raise e
 
-let run ?worker_argv ?packet_bytes ?(trace = false) ~procs ~size
-    (module W : Workload.S) : outcome =
+let run ?worker_argv ?packet_bytes ?transport ?ring_bytes ?(trace = false)
+    ~procs ~size (module W : Workload.S) : outcome =
   if procs < 1 then invalid_arg "Farm.run: procs must be >= 1";
   let worker_argv =
     match worker_argv with Some a -> a | None -> Worker.default_argv ()
   in
-  let counts = { rounds = 0; tasks = 0; schedules = 0; fishes = 0; no_works = 0 } in
+  let counts =
+    { rounds = 0; tasks = 0; schedules = 0; fishes = 0; no_works = 0 }
+  in
   let sched_spans = ref [] in
   let coord_pack_ns = ref 0 and coord_unpack_ns = ref 0 in
   let mode = Message.Workload { name = W.name; size } in
+  let decode_result : Message.payload -> W.result = function
+    | Message.Bytes_p s -> (Marshal.from_string s 0 : W.result)
+    | Message.Floats_p f -> (
+        match W.result_blob with
+        | Some (_, dec) -> dec f
+        | None -> failwith "dist: float blob for a workload without a codec")
+  in
   let (result, work_ns, reports), links, spawn_ns =
-    with_links ?packet_bytes ~worker_argv ~procs ~mode ~trace (fun links ->
+    with_links ?packet_bytes ?transport ?ring_bytes ~worker_argv ~procs ~mode
+      ~trace (fun links ->
         let t0 = Clock.now_ns () in
         let rec rounds st tasks pinned =
           let tp0 = Clock.now_ns () in
@@ -266,9 +388,7 @@ let run ?worker_argv ?packet_bytes ?(trace = false) ~procs ~size
               ~id0:counts.tasks ~pinned payloads
           in
           let tu0 = Clock.now_ns () in
-          let results =
-            Array.map (fun s -> (Marshal.from_string s 0 : W.result)) raw
-          in
+          let results = Array.map decode_result raw in
           coord_unpack_ns := !coord_unpack_ns + (Clock.now_ns () - tu0);
           match W.step st results with
           | `Done v -> v
@@ -281,14 +401,23 @@ let run ?worker_argv ?packet_bytes ?(trace = false) ~procs ~size
         (result, work_ns, reports))
   in
   shutdown links;
+  (* Over shm the coordinator never sees a FISH — demand requests are
+     peer-to-peer and show up in the workers' own counters. *)
+  let p2p_fishes =
+    Array.fold_left (fun a r -> a + r.stats.Message.fishes_sent) 0 reports
+  in
+  let stolen =
+    Array.fold_left (fun a r -> a + r.stats.Message.tasks_stolen) 0 reports
+  in
   {
     result;
     procs;
     rounds = counts.rounds;
     tasks = counts.tasks;
     schedules = counts.schedules;
-    fishes = counts.fishes;
+    fishes = (if counts.fishes = 0 && p2p_fishes > 0 then p2p_fishes else counts.fishes);
     no_works = counts.no_works;
+    stolen;
     reports;
     sched_spans = !sched_spans;
     coord_pack_ns = !coord_pack_ns;
@@ -297,12 +426,15 @@ let run ?worker_argv ?packet_bytes ?(trace = false) ~procs ~size
     spawn_ns;
   }
 
-let farm ?worker_argv ?packet_bytes ~procs (fs : (unit -> 'a) list) : 'a list =
+let farm ?worker_argv ?packet_bytes ?transport ~procs (fs : (unit -> 'a) list) :
+    'a list =
   if procs < 1 then invalid_arg "Farm.farm: procs must be >= 1";
   let worker_argv =
     match worker_argv with Some a -> a | None -> Worker.default_argv ()
   in
-  let counts = { rounds = 0; tasks = 0; schedules = 0; fishes = 0; no_works = 0 } in
+  let counts =
+    { rounds = 0; tasks = 0; schedules = 0; fishes = 0; no_works = 0 }
+  in
   let sched_spans = ref [] in
   (* The closure is marshalled with [Marshal.Closures]; that works
      because every PE runs the very same binary (same code-fragment
@@ -317,8 +449,8 @@ let farm ?worker_argv ?packet_bytes ~procs (fs : (unit -> 'a) list) : 'a list =
          fs)
   in
   let raw, links, _spawn_ns =
-    with_links ?packet_bytes ~worker_argv ~procs ~mode:Message.Closures
-      ~trace:false (fun links ->
+    with_links ?packet_bytes ?transport ~worker_argv ~procs
+      ~mode:Message.Closures ~trace:false (fun links ->
         let raw =
           exec_round ~counts ~trace:false ~sched_spans ~links ~round:0 ~id0:0
             ~pinned:false payloads
@@ -330,4 +462,9 @@ let farm ?worker_argv ?packet_bytes ~procs (fs : (unit -> 'a) list) : 'a list =
         raw)
   in
   shutdown links;
-  Array.to_list (Array.map (fun s : 'a -> Marshal.from_string s 0) raw)
+  Array.to_list
+    (Array.map
+       (function
+         | Message.Bytes_p s -> (Marshal.from_string s 0 : 'a)
+         | Message.Floats_p _ -> failwith "dist: float blob in closure mode")
+       raw)

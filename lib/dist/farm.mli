@@ -1,6 +1,16 @@
 (** Coordinator of the distributed (multi-process) executor: task-farm
-    scheduling with round-robin priming plus GUM-style passive work
-    requests (FISH/SCHEDULE), one worker process per PE. *)
+    scheduling with GUM-style passive work requests (FISH/SCHEDULE),
+    one worker process per PE, over a choice of transport. *)
+
+(** The paper's PVM-on-sockets vs PVM-on-shared-memory axis:
+    {!Sock} is a socketpair per worker in a star (demand requests go
+    through the coordinator); {!Shm} is a pair of mapped single-
+    producer rings per link plus a peer-to-peer mesh (demand requests
+    go worker-to-worker, the coordinator sees only results). *)
+type transport = Sock | Shm
+
+(** ["socketpair"] / ["shm"] — the name used in reports and JSON. *)
+val transport_name : transport -> string
 
 (** Coordinator-side timing of one [Schedule] send (same monotonic
     timebase as the worker's spans, so {!Timeline} can draw the wire
@@ -9,6 +19,7 @@ type sched_span = {
   sp_task_id : int;
   sp_pe : int;
   sp_round : int;
+  sp_bytes : int;  (** marshalled task payload size *)
   send_start_ns : int;
   send_done_ns : int;
 }
@@ -25,9 +36,12 @@ type outcome = {
   procs : int;
   rounds : int;
   tasks : int;
-  schedules : int;  (** [Schedule] messages sent *)
-  fishes : int;  (** [Fish] work requests received *)
+  schedules : int;  (** [Schedule] messages sent (either endpoint) *)
+  fishes : int;
+      (** work requests: coordinator-received over sock, summed
+          peer-to-peer over shm *)
   no_works : int;  (** fishes that found nothing runnable *)
+  stolen : int;  (** tasks that moved worker-to-worker (shm only) *)
   reports : pe_report array;
   sched_spans : sched_span list;  (** newest first; [] unless traced *)
   coord_pack_ns : int;  (** task payload marshalling on the coordinator *)
@@ -36,15 +50,18 @@ type outcome = {
   spawn_ns : int;  (** process creation + handshakes *)
 }
 
-(** Tasks each PE is primed with before demand scheduling takes over. *)
+(** Tasks each PE is primed with before demand scheduling takes over
+    (sock transport; shm pushes whole rounds up front). *)
 val prefetch : int
 
 (** [run ~procs ~size (module W)] executes the workload on [procs]
     worker processes and returns the checksum plus per-PE traffic, GC
     and timing counters.  [worker_argv] defaults to re-executing this
     binary with [Worker.marker] (the host binary must call
-    [Worker.maybe_run]).  [trace] records per-task spans on every PE
-    and schedule spans on the coordinator.
+    [Worker.maybe_run]).  [transport] defaults to {!Sock};
+    [ring_bytes] sizes each shm ring (data area per direction).
+    [trace] records per-task spans on every PE and schedule spans on
+    the coordinator.
 
     @raise Invalid_argument if [procs < 1].
     @raise Failure on protocol violations (duplicate or unknown
@@ -52,6 +69,8 @@ val prefetch : int
 val run :
   ?worker_argv:string array ->
   ?packet_bytes:int ->
+  ?transport:transport ->
+  ?ring_bytes:int ->
   ?trace:bool ->
   procs:int ->
   size:int ->
@@ -66,6 +85,7 @@ val run :
 val farm :
   ?worker_argv:string array ->
   ?packet_bytes:int ->
+  ?transport:transport ->
   procs:int ->
   (unit -> 'a) list ->
   'a list

@@ -1,0 +1,99 @@
+(** A point-to-point link over either transport.
+
+    {!Message}, {!Farm} and {!Worker} speak through this sum so the
+    whole executor is transport-agnostic — selecting [--transport shm]
+    swaps the byte-moving machinery under an unchanged protocol, which
+    is the experiment the paper runs when it maps PVM onto shared
+    memory.  A first-class-module [TRANSPORT] value would do the same
+    job; the sum keeps dispatch monomorphic (two direct calls) on a
+    path hot enough to care. *)
+
+type t = Sock of Wire.conn | Shm of Shm_ring.conn
+
+let send = function Sock c -> Wire.send c | Shm c -> Shm_ring.send c
+let recv = function Sock c -> Wire.recv c | Shm c -> Shm_ring.recv c
+
+let send_floats = function
+  | Sock c -> Wire.send_floats c
+  | Shm c -> Shm_ring.send_floats c
+
+let recv_floats l ~len =
+  match l with
+  | Sock c -> Wire.recv_floats c ~len
+  | Shm c -> Shm_ring.recv_floats c ~len
+
+let counters = function Sock c -> Wire.counters c | Shm c -> Shm_ring.counters c
+
+let input_ready = function
+  | Sock c -> Wire.input_ready c
+  | Shm c -> Shm_ring.input_ready c
+
+let close = function Sock c -> Wire.close c | Shm c -> Shm_ring.close c
+
+let set_on_wait l f =
+  match l with Sock _ -> () | Shm c -> Shm_ring.set_on_wait c f
+
+(* Links a waiter can block on: socks always, shm only with a
+   doorbell.  Doorbell-less (peer-to-peer) links are covered by the
+   caller's timeout. *)
+let selectable_fd = function
+  | Sock c -> Some (Wire.read_fd c)
+  | Shm c -> if Shm_ring.has_doorbell c then Some (Shm_ring.wait_fd c) else None
+
+(** Block until some link {e may} have input (spurious wake-ups
+    allowed, missed messages not), or [timeout] (seconds, negative =
+    forever) elapses.  Over socks this is plain [select]; over shm it
+    is the arm-recheck-block doorbell handshake on every link at once.
+    @raise End_of_file if a peer closed its doorbell with nothing in
+    flight. *)
+let wait_any ?(timeout = -1.0) (links : t array) =
+  let any_ready () = Array.exists input_ready links in
+  if not (any_ready ()) then begin
+    (* spin a little first: the common case is a peer already mid-send *)
+    let spins = ref 0 in
+    while (not (any_ready ())) && !spins < 256 do
+      incr spins
+    done;
+    if not (any_ready ()) then begin
+      Array.iter
+        (function Shm c when Shm_ring.has_doorbell c -> Shm_ring.prepare_sleep c
+          | _ -> ())
+        links;
+      let disarm () =
+        Array.iter
+          (function
+            | Shm c when Shm_ring.has_doorbell c ->
+                Shm_ring.drain_doorbell c;
+                Shm_ring.cancel_sleep c
+            | _ -> ())
+          links
+      in
+      Fun.protect ~finally:disarm (fun () ->
+          if not (any_ready ()) then begin
+            let fds = Array.to_list links |> List.filter_map selectable_fd in
+            (* doorbell-less links exist: never block forever on the
+               descriptors alone *)
+            let timeout =
+              if Array.for_all (fun l -> selectable_fd l <> None) links then
+                timeout
+              else if timeout < 0.0 then 0.002
+              else min timeout 0.002
+            in
+            let rec sel () =
+              match Unix.select fds [] [] timeout with
+              | ready, _, _ -> ready
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> sel ()
+            in
+            ignore (sel ())
+          end);
+      (* [disarm] drained tokens; a drained EOF with nothing in any
+         ring means a peer died — surface it the way Wire's recv
+         does, or the caller would spin on the closed descriptor. *)
+      if
+        (not (any_ready ()))
+        && Array.exists
+             (function Shm c -> Shm_ring.peer_gone c | Sock _ -> false)
+             links
+      then raise End_of_file
+    end
+  end

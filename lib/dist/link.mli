@@ -1,0 +1,23 @@
+(** A point-to-point link over either transport ({!Wire} socketpair or
+    {!Shm_ring}), so the protocol layers above are transport-agnostic. *)
+
+type t = Sock of Wire.conn | Shm of Shm_ring.conn
+
+val send : t -> string -> unit
+val recv : t -> string
+val send_floats : t -> float array -> unit
+val recv_floats : t -> len:int -> float array
+val counters : t -> Wire.counters
+val input_ready : t -> bool
+val close : t -> unit
+
+(** No-op on sock links (they never block with data queued behind
+    them); see {!Shm_ring.set_on_wait}. *)
+val set_on_wait : t -> (unit -> unit) option -> unit
+
+(** Block until some link {e may} have input (spurious wake-ups
+    allowed, missed messages never), or [timeout] seconds (negative =
+    forever) pass.  Capped at a short poll interval while any
+    doorbell-less link is in the set.
+    @raise End_of_file if a peer died with every ring drained. *)
+val wait_any : ?timeout:float -> t array -> unit

@@ -16,12 +16,18 @@ type per_pe = {
   pe : int;
   pe_tasks : int;
   pe_fishes : int;
+  pe_stolen : int;
+  pe_grants : int;
   msgs_sent : int;
   msgs_recv : int;
   bytes_sent : int;
   bytes_recv : int;
   packets_sent : int;
   packets_recv : int;
+  payload_bytes_sent : int;
+  payload_bytes_recv : int;
+  zero_copy_bytes_sent : int;
+  zero_copy_bytes_recv : int;
   pack_ns : int;
   unpack_ns : int;
   exec_ns : int;
@@ -33,6 +39,7 @@ type per_pe = {
 
 type measurement = {
   workload : string;
+  transport : string;
   size : int;
   procs : int;
   repeats : int;
@@ -47,9 +54,12 @@ type measurement = {
   schedules : int;
   fishes : int;
   no_works : int;
+  stolen : int;  (** tasks that moved worker-to-worker (shm) *)
   msgs : int;  (** worker-side messages, sent + received, all PEs *)
   bytes : int;  (** on-wire bytes incl. packet headers, both directions *)
   packets : int;
+  payload_bytes : int;  (** application payload, headers excluded *)
+  zero_copy_bytes : int;  (** float frames read/written in place (shm) *)
   pack_ns : int;  (** marshalling time summed over PEs *)
   unpack_ns : int;
   minor_collections : int;  (** private-heap GC deltas summed over PEs *)
@@ -65,12 +75,18 @@ let per_pe_of_report (r : Farm.pe_report) : per_pe =
     pe = s.Message.stats_pe;
     pe_tasks = s.tasks_executed;
     pe_fishes = s.fishes_sent;
+    pe_stolen = s.tasks_stolen;
+    pe_grants = s.grants_given;
     msgs_sent = s.msgs_sent;
     msgs_recv = s.msgs_recv;
     bytes_sent = s.bytes_sent;
     bytes_recv = s.bytes_recv;
     packets_sent = s.packets_sent;
     packets_recv = s.packets_recv;
+    payload_bytes_sent = s.payload_bytes_sent;
+    payload_bytes_recv = s.payload_bytes_recv;
+    zero_copy_bytes_sent = s.zero_copy_bytes_sent;
+    zero_copy_bytes_recv = s.zero_copy_bytes_recv;
     pack_ns = s.pack_ns;
     unpack_ns = s.unpack_ns;
     exec_ns = s.exec_ns;
@@ -80,15 +96,15 @@ let per_pe_of_report (r : Farm.pe_report) : per_pe =
     gc_promoted_words = s.gc_promoted_words;
   }
 
-let measure ?(repeats = 3) ?worker_argv ~procs ~size (module W : Workload.S) :
-    measurement =
+let measure ?(repeats = 3) ?worker_argv ?transport ~procs ~size
+    (module W : Workload.S) : measurement =
   if repeats < 1 then invalid_arg "Measure.measure: repeats must be >= 1";
   let runs =
     (* one warm-up + [repeats] timed runs; every run spawns fresh
        worker processes, so the warm-up only warms the coordinator's
        code paths and the page cache *)
     Array.init (repeats + 1) (fun _ ->
-        Farm.run ?worker_argv ~procs ~size (module W))
+        Farm.run ?worker_argv ?transport ~procs ~size (module W))
   in
   let timed = Array.sub runs 1 repeats in
   let first = timed.(0) in
@@ -110,6 +126,8 @@ let measure ?(repeats = 3) ?worker_argv ~procs ~size (module W : Workload.S) :
   let sumf f = Array.fold_left (fun acc r -> acc +. f r) 0.0 last.Farm.reports in
   {
     workload = W.name;
+    transport =
+      Farm.transport_name (Option.value transport ~default:Farm.Sock);
     size;
     procs;
     repeats;
@@ -124,10 +142,19 @@ let measure ?(repeats = 3) ?worker_argv ~procs ~size (module W : Workload.S) :
     schedules = last.Farm.schedules;
     fishes = last.Farm.fishes;
     no_works = last.Farm.no_works;
+    stolen = last.Farm.stolen;
     msgs = sum (fun r -> r.Farm.stats.Message.msgs_sent + r.Farm.stats.Message.msgs_recv);
     bytes = sum (fun r -> r.Farm.stats.Message.bytes_sent + r.Farm.stats.Message.bytes_recv);
     packets =
       sum (fun r -> r.Farm.stats.Message.packets_sent + r.Farm.stats.Message.packets_recv);
+    payload_bytes =
+      sum (fun r ->
+          r.Farm.stats.Message.payload_bytes_sent
+          + r.Farm.stats.Message.payload_bytes_recv);
+    zero_copy_bytes =
+      sum (fun r ->
+          r.Farm.stats.Message.zero_copy_bytes_sent
+          + r.Farm.stats.Message.zero_copy_bytes_recv);
     pack_ns = sum (fun r -> r.Farm.stats.Message.pack_ns);
     unpack_ns = sum (fun r -> r.Farm.stats.Message.unpack_ns);
     minor_collections = sum (fun r -> r.Farm.stats.Message.gc_minor_collections);
@@ -137,14 +164,15 @@ let measure ?(repeats = 3) ?worker_argv ~procs ~size (module W : Workload.S) :
     per_pe = Array.map per_pe_of_report last.Farm.reports;
   }
 
-let sweep ?repeats ?worker_argv ~procs_list ~size (module W : Workload.S) :
-    measurement list =
+let sweep ?repeats ?worker_argv ?transport ~procs_list ~size
+    (module W : Workload.S) : measurement list =
   match procs_list with
   | [] -> []
   | _ ->
       let ms =
         List.map
-          (fun procs -> measure ?repeats ?worker_argv ~procs ~size (module W))
+          (fun procs ->
+            measure ?repeats ?worker_argv ?transport ~procs ~size (module W))
           procs_list
       in
       let base = (List.hd ms).mean_ns in
@@ -159,6 +187,8 @@ let to_table (ms_list : measurement list) : Tablefmt.t
       ~aligns:
         [
           Tablefmt.Left;
+          Tablefmt.Left;
+          Tablefmt.Right;
           Tablefmt.Right;
           Tablefmt.Right;
           Tablefmt.Right;
@@ -171,6 +201,7 @@ let to_table (ms_list : measurement list) : Tablefmt.t
         ]
       [
         "workload";
+        "wire";
         "size";
         "procs";
         "mean ms";
@@ -178,6 +209,7 @@ let to_table (ms_list : measurement list) : Tablefmt.t
         "speedup";
         "msgs";
         "kbytes";
+        "0copy kb";
         "fishes";
         "gc minor";
       ]
@@ -187,6 +219,7 @@ let to_table (ms_list : measurement list) : Tablefmt.t
       Tablefmt.add_row t
         [
           m.workload;
+          m.transport;
           string_of_int m.size;
           string_of_int m.procs;
           Printf.sprintf "%.2f" (ms m.mean_ns);
@@ -194,6 +227,7 @@ let to_table (ms_list : measurement list) : Tablefmt.t
           Printf.sprintf "%.2f" m.speedup;
           string_of_int m.msgs;
           Printf.sprintf "%.1f" (float_of_int m.bytes /. 1024.0);
+          Printf.sprintf "%.1f" (float_of_int m.zero_copy_bytes /. 1024.0);
           string_of_int m.fishes;
           string_of_int m.minor_collections;
         ])
@@ -206,12 +240,18 @@ let json_of_per_pe (p : per_pe) : Json.t =
       ("pe", Json.Int p.pe);
       ("tasks", Json.Int p.pe_tasks);
       ("fishes", Json.Int p.pe_fishes);
+      ("stolen", Json.Int p.pe_stolen);
+      ("grants", Json.Int p.pe_grants);
       ("msgs_sent", Json.Int p.msgs_sent);
       ("msgs_recv", Json.Int p.msgs_recv);
       ("bytes_sent", Json.Int p.bytes_sent);
       ("bytes_recv", Json.Int p.bytes_recv);
       ("packets_sent", Json.Int p.packets_sent);
       ("packets_recv", Json.Int p.packets_recv);
+      ("payload_bytes_sent", Json.Int p.payload_bytes_sent);
+      ("payload_bytes_recv", Json.Int p.payload_bytes_recv);
+      ("zero_copy_bytes_sent", Json.Int p.zero_copy_bytes_sent);
+      ("zero_copy_bytes_recv", Json.Int p.zero_copy_bytes_recv);
       ("pack_ns", Json.Int p.pack_ns);
       ("unpack_ns", Json.Int p.unpack_ns);
       ("exec_ns", Json.Int p.exec_ns);
@@ -225,6 +265,7 @@ let json_of_measurement (m : measurement) : Json.t =
   Json.Obj
     [
       ("workload", Json.Str m.workload);
+      ("transport", Json.Str m.transport);
       ("size", Json.Int m.size);
       ("procs", Json.Int m.procs);
       ("repeats", Json.Int m.repeats);
@@ -239,9 +280,12 @@ let json_of_measurement (m : measurement) : Json.t =
       ("schedules", Json.Int m.schedules);
       ("fishes", Json.Int m.fishes);
       ("no_works", Json.Int m.no_works);
+      ("stolen", Json.Int m.stolen);
       ("msgs", Json.Int m.msgs);
       ("bytes", Json.Int m.bytes);
       ("packets", Json.Int m.packets);
+      ("payload_bytes", Json.Int m.payload_bytes);
+      ("zero_copy_bytes", Json.Int m.zero_copy_bytes);
       ("pack_ns", Json.Int m.pack_ns);
       ("unpack_ns", Json.Int m.unpack_ns);
       ("minor_collections", Json.Int m.minor_collections);

@@ -7,12 +7,18 @@ type per_pe = {
   pe : int;
   pe_tasks : int;
   pe_fishes : int;
+  pe_stolen : int;  (** tasks this PE executed after stealing them *)
+  pe_grants : int;  (** tasks this PE handed to fishing peers *)
   msgs_sent : int;
   msgs_recv : int;
   bytes_sent : int;  (** on-wire bytes, packet headers included *)
   bytes_recv : int;
   packets_sent : int;
   packets_recv : int;
+  payload_bytes_sent : int;  (** application payload, headers excluded *)
+  payload_bytes_recv : int;
+  zero_copy_bytes_sent : int;  (** float frames written in place (shm) *)
+  zero_copy_bytes_recv : int;
   pack_ns : int;
   unpack_ns : int;
   exec_ns : int;
@@ -24,6 +30,7 @@ type per_pe = {
 
 type measurement = {
   workload : string;
+  transport : string;  (** ["socketpair"] or ["shm"] *)
   size : int;
   procs : int;
   repeats : int;
@@ -38,9 +45,12 @@ type measurement = {
   schedules : int;
   fishes : int;
   no_works : int;
+  stolen : int;  (** tasks that moved worker-to-worker (shm) *)
   msgs : int;  (** worker-side messages, sent + received, all PEs *)
   bytes : int;
   packets : int;
+  payload_bytes : int;  (** application payload, headers excluded *)
+  zero_copy_bytes : int;  (** float frames read/written in place (shm) *)
   pack_ns : int;
   unpack_ns : int;
   minor_collections : int;  (** summed over the PEs' private heaps *)
@@ -56,6 +66,7 @@ type measurement = {
 val measure :
   ?repeats:int ->
   ?worker_argv:string array ->
+  ?transport:Farm.transport ->
   procs:int ->
   size:int ->
   (module Workload.S) ->
@@ -66,6 +77,7 @@ val measure :
 val sweep :
   ?repeats:int ->
   ?worker_argv:string array ->
+  ?transport:Farm.transport ->
   procs_list:int list ->
   size:int ->
   (module Workload.S) ->
@@ -76,7 +88,7 @@ val json_of_measurement : measurement -> Repro_util.Json_out.t
 
 (** [BENCH_dist.json]-style document; pass
     [Repro_exec.Harness.env_header ~backend:"processes"
-    ~transport:"socketpair" ()] as [header]. *)
+    ~transport:(Farm.transport_name t) ()] as [header]. *)
 val json_document :
   header:(string * Repro_util.Json_out.t) list ->
   measurement list ->

@@ -5,12 +5,21 @@
     is remembered as hungry.  [Harvest]/[Stats] drain the per-PE
     counters at shutdown.
 
-    All payloads are [Marshal]-serialised {e fully-evaluated} values —
-    Eden's rule that only whole normal forms cross the heap boundary.
-    Task and result payloads are pre-marshalled by the typed layer
-    ({!Farm}) and travel here as opaque strings, so this module is
-    monomorphic and every byte on the wire is accounted to the
-    connection's counters, marshalling time included. *)
+    Over the shm transport FISH goes {e peer-to-peer}: workers hold
+    direct links to each other, an idle PE fishes a victim directly
+    and the victim's surplus tasks flow straight back ({!to_peer}) —
+    the coordinator sees only results and teardown traffic, exactly
+    GUM's topology instead of the socketpair star.
+
+    Control payloads are [Marshal]-serialised {e fully-evaluated}
+    values — Eden's rule that only whole normal forms cross the heap
+    boundary.  Task and result payloads are pre-marshalled by the
+    typed layer ({!Farm}) and travel here as opaque strings, so this
+    module is monomorphic and every byte on the wire is accounted to
+    the link's counters, marshalling time included.  Bulk float
+    results bypass [Marshal] entirely: a [Result] with [blob >= 0]
+    announces a float message of that many elements following on the
+    same link (see {!send_result}/{!recv_result_payload}). *)
 
 type mode =
   | Workload of { name : string; size : int }
@@ -26,10 +35,26 @@ type hello = {
 }
 
 type to_worker =
-  | Schedule of { task_id : int; round : int; payload : string }
+  | Schedule of {
+      task_id : int;
+      round : int;
+      stealable : bool;
+          (** peers may take this task ([false] for pinned rounds —
+              the PE holds matching resident state) *)
+      payload : string;
+    }
   | No_work
   | Harvest
   | Shutdown
+
+(** Worker-to-worker traffic on the peer-to-peer links (shm transport
+    only). *)
+type to_peer =
+  | Peer_fish of { thief_pe : int; round : int }
+  | Peer_grant of { round : int; tasks : (int * string) array }
+      (** surplus (task_id, payload) pairs from the victim's local
+          queue — the SCHEDULE reply flowing directly to the requester *)
+  | Peer_no_work of { round : int }
 
 (** One task's life on a PE, monotonic-clock nanoseconds (comparable
     with coordinator timestamps — see {!Clock}). *)
@@ -45,13 +70,19 @@ type task_span = {
 type worker_stats = {
   stats_pe : int;
   tasks_executed : int;
-  fishes_sent : int;
-  msgs_sent : int;
+  fishes_sent : int;  (** demand requests: to the coordinator (sock) or to peers (shm) *)
+  tasks_stolen : int;  (** executed tasks that arrived via a peer grant *)
+  grants_given : int;  (** tasks handed to fishing peers *)
+  msgs_sent : int;  (** summed over every link the PE holds *)
   msgs_recv : int;
   bytes_sent : int;
   bytes_recv : int;
   packets_sent : int;
   packets_recv : int;
+  payload_bytes_sent : int;
+  payload_bytes_recv : int;
+  zero_copy_bytes_sent : int;
+  zero_copy_bytes_recv : int;
   pack_ns : int;
   unpack_ns : int;
   exec_ns : int;  (** time inside [W.execute], summed *)
@@ -64,34 +95,65 @@ type worker_stats = {
 }
 
 type to_coordinator =
+  | Ready  (** shm only: every segment is mapped, safe to unlink *)
   | Fish
-  | Result of { task_id : int; round : int; payload : string }
+  | Result of {
+      task_id : int;
+      round : int;
+      payload : string;
+      blob : int;
+          (** [-1]: [payload] is the marshalled result.  [>= 0]: the
+              result is the float message of this many elements
+              following on this link, and [payload] is empty. *)
+    }
   | Stats of worker_stats
 
 (* ---------------- wire glue ---------------- *)
 
-(* Marshal + send, with the serialisation time accounted to the
-   connection (the real-world analogue of the simulator's
-   [pack_ns_per_byte] charge on the sending thread). *)
-let send_value conn v =
+(* Marshal + send, with the serialisation time accounted to the link
+   (the real-world analogue of the simulator's [pack_ns_per_byte]
+   charge on the sending thread). *)
+let send_value link v =
   let t0 = Clock.now_ns () in
   let s = Marshal.to_string v [] in
-  let c = Wire.counters conn in
+  let c = Link.counters link in
   c.Wire.pack_ns <- c.Wire.pack_ns + (Clock.now_ns () - t0);
-  Wire.send conn s
+  Link.send link s
 
-let recv_value : type a. Wire.conn -> a =
- fun conn ->
-  let s = Wire.recv conn in
+let recv_value : type a. Link.t -> a =
+ fun link ->
+  let s = Link.recv link in
   let t0 = Clock.now_ns () in
   let v : a = Marshal.from_string s 0 in
-  let c = Wire.counters conn in
+  let c = Link.counters link in
   c.Wire.unpack_ns <- c.Wire.unpack_ns + (Clock.now_ns () - t0);
   v
 
-let send_hello conn (h : hello) = send_value conn h
-let recv_hello conn : hello = recv_value conn
-let send_to_worker conn (m : to_worker) = send_value conn m
-let recv_to_worker conn : to_worker = recv_value conn
-let send_to_coordinator conn (m : to_coordinator) = send_value conn m
-let recv_to_coordinator conn : to_coordinator = recv_value conn
+let send_hello link (h : hello) = send_value link h
+let recv_hello link : hello = recv_value link
+let send_to_worker link (m : to_worker) = send_value link m
+let recv_to_worker link : to_worker = recv_value link
+let send_to_coordinator link (m : to_coordinator) = send_value link m
+let recv_to_coordinator link : to_coordinator = recv_value link
+let send_to_peer link (m : to_peer) = send_value link m
+let recv_to_peer link : to_peer = recv_value link
+
+(** A result payload in transit: marshalled bytes, or a float blob
+    that travelled (and on shm, crossed the rings) without [Marshal]. *)
+type payload = Bytes_p of string | Floats_p of float array
+
+let send_result link ~task_id ~round (p : payload) =
+  match p with
+  | Bytes_p s ->
+      send_value link (Result { task_id; round; payload = s; blob = -1 })
+  | Floats_p arr ->
+      send_value link
+        (Result { task_id; round; payload = ""; blob = Array.length arr });
+      Link.send_floats link arr
+
+(** Complete a received [Result]: pull the announced float blob off
+    the same link, if any.  Must be called before the link is read
+    again — the blob frames are queued right behind the control
+    message. *)
+let recv_result_payload link ~blob ~payload : payload =
+  if blob < 0 then Bytes_p payload else Floats_p (Link.recv_floats link ~len:blob)

@@ -1,0 +1,119 @@
+(** Shared-memory ring transport: mmap'd SPSC ring pairs with a
+    Dekker-gated doorbell — the zero-syscall {!Wire.TRANSPORT}.
+
+    A {e segment} (a file, preferably on [/dev/shm]) holds two rings,
+    one per direction; the two endpoints attach to opposite {e sides}.
+    Byte messages and float messages stream through as 8-byte-aligned
+    frames that never straddle the ring end, so float payloads are
+    written straight into (and read straight out of) the shared
+    mapping — the [zero_copy_bytes_*] counters.  See the [.ml] header
+    for the layout, the frame format and the doorbell handshake. *)
+
+type conn
+
+val default_ring_bytes : int
+
+(** Create and size a segment file (zero-filled: both rings empty).
+    Nothing is mapped; both endpoints {!attach} by path — which is how
+    the path crosses [create_process] (argv), no descriptor plumbing.
+    The creator should {!unlink_segment} once both sides attached. *)
+val create_segment : ?ring_bytes:int -> unit -> string
+
+val unlink_segment : string -> unit
+
+(** Map the segment.  The two endpoints must pass opposite [side]s.
+    [doorbell] is a full-duplex descriptor (one end of a socketpair):
+    blocking receives sleep on it and sends wake the peer through it.
+    Without one, waits poll (fine for the short-lived peer-to-peer
+    waits; the coordinator links always carry one).  Ring geometry is
+    recovered from the file size.  The descriptor opened on [path] is
+    closed again before returning (the mappings outlive it). *)
+val attach :
+  path:string -> side:[ `A | `B ] -> ?doorbell:Unix.file_descr -> unit -> conn
+
+(** Called repeatedly while a send blocks on a full out-ring.  The
+    coordinator drains incoming results here — the escape from the
+    duplex deadlock where both ends block sending to each other. *)
+val set_on_wait : conn -> (unit -> unit) option -> unit
+
+val send : conn -> string -> unit
+
+(** @raise End_of_file if the peer died at a message boundary,
+    @raise Wire.Truncated mid-message — same contract as {!Wire.recv}. *)
+val recv : conn -> string
+
+val send_floats : conn -> float array -> unit
+val recv_floats : conn -> len:int -> float array
+val counters : conn -> Wire.counters
+
+(** A message may be (partially) available — non-blocking. *)
+val input_ready : conn -> bool
+
+val has_doorbell : conn -> bool
+
+(** The doorbell descriptor, for [Unix.select] multiplexing over many
+    links.  Arm each link with {!prepare_sleep} first, re-check
+    {!input_ready}, select, then {!drain_doorbell} + {!cancel_sleep} —
+    the same handshake blocking {!recv} performs on one link.
+    @raise Invalid_argument on a doorbell-less link. *)
+val wait_fd : conn -> Unix.file_descr
+
+(** Arm the doorbell ([sleeping] := 1) and fence.  The caller {e must}
+    re-check {!input_ready} after this and before blocking. *)
+val prepare_sleep : conn -> unit
+
+val cancel_sleep : conn -> unit
+
+(** Swallow pending wake tokens, non-blocking (they are hints; a stale
+    one only causes a spurious wake). *)
+val drain_doorbell : conn -> unit
+
+(** The doorbell returned EOF: the peer is dead.  Blocking receives
+    raise once the ring is drained; multiplexed waiters should check
+    this after {!drain_doorbell}. *)
+val peer_gone : conn -> bool
+
+(** Closes the doorbell (the mappings are reclaimed by the GC /
+    process exit; the segment file by {!unlink_segment}). *)
+val close : conn -> unit
+
+(** The shim control-word instance: an 8-byte-aligned slot of the
+    mapped segment.  Exposed for tests. *)
+module Mapped_word : sig
+  type t = {
+    words : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    idx : int;
+  }
+
+  include Repro_shim.Tatomic.WORD with type t := t
+end
+
+(** The distilled SPSC handshake (one word per slot), functorised over
+    the control-word implementation so [lib/check] can exhaust it with
+    traced cells and QCheck can race it against a queue reference.
+    {!try_push} writes the slot {e then} publishes the tail;
+    {!try_pop} observes the tail, reads, {e then} releases — the
+    ordering the production frames above rely on. *)
+module Spsc (W : Repro_shim.Tatomic.WORD) : sig
+  type t = {
+    cap : int;
+    tail : W.t;
+    head : W.t;
+    get : int -> int;
+    set : int -> int -> unit;
+  }
+
+  val create :
+    cap:int ->
+    tail:W.t ->
+    head:W.t ->
+    get:(int -> int) ->
+    set:(int -> int -> unit) ->
+    t
+
+  val try_push : t -> int -> bool
+  val try_pop : t -> int option
+  val length : t -> int
+end
+
+module Transport : Wire.TRANSPORT with type t = conn

@@ -11,27 +11,38 @@
 
 module Json = Repro_util.Json_out
 
-(** [track = -1] is the coordinator; [track >= 0] is that PE. *)
-type span = { track : int; name : string; cat : string; t0_ns : int; t1_ns : int }
+(** [track = -1] is the coordinator; [track >= 0] is that PE.
+    [bytes] is the task payload size on [schedule] and [wire] spans
+    (what crossed the link), [0] elsewhere. *)
+type span = {
+  track : int;
+  name : string;
+  cat : string;
+  t0_ns : int;
+  t1_ns : int;
+  bytes : int;
+}
 
 let of_outcome (o : Farm.outcome) : span list =
   let spans = ref [] in
-  let push track name cat t0_ns t1_ns =
-    if t1_ns >= t0_ns then spans := { track; name; cat; t0_ns; t1_ns } :: !spans
+  let push ?(bytes = 0) track name cat t0_ns t1_ns =
+    if t1_ns >= t0_ns then
+      spans := { track; name; cat; t0_ns; t1_ns; bytes } :: !spans
   in
   (* coordinator send side, and an index for the wire bridges *)
   let send_done = Hashtbl.create 64 in
   List.iter
     (fun (s : Farm.sched_span) ->
-      Hashtbl.replace send_done s.sp_task_id s.send_done_ns;
-      push (-1) "schedule" "sched" s.send_start_ns s.send_done_ns)
+      Hashtbl.replace send_done s.sp_task_id (s.send_done_ns, s.sp_bytes);
+      push ~bytes:s.sp_bytes (-1) "schedule" "sched" s.send_start_ns
+        s.send_done_ns)
     o.sched_spans;
   Array.iter
     (fun (r : Farm.pe_report) ->
       List.iter
         (fun (t : Message.task_span) ->
           (match Hashtbl.find_opt send_done t.span_task_id with
-          | Some sd -> push r.rep_pe "wire" "net" sd t.recv_done_ns
+          | Some (sd, bytes) -> push ~bytes r.rep_pe "wire" "net" sd t.recv_done_ns
           | None -> ());
           push r.rep_pe "unpack" "pack" t.recv_done_ns t.exec_start_ns;
           push r.rep_pe "exec" "exec" t.exec_start_ns t.exec_end_ns;
@@ -54,15 +65,19 @@ let to_chrome ~procs (spans : span list) : Json.t =
   let us_of_ns ns = float_of_int (ns - t_min) /. 1e3 in
   let slice s =
     Json.Obj
-      [
-        ("name", Json.Str s.name);
-        ("cat", Json.Str s.cat);
-        ("ph", Json.Str "X");
-        ("ts", Json.Float (us_of_ns s.t0_ns));
-        ("dur", Json.Float (float_of_int (s.t1_ns - s.t0_ns) /. 1e3));
-        ("pid", Json.Int pid);
-        ("tid", Json.Int (tid_of_track s.track));
-      ]
+      ([
+         ("name", Json.Str s.name);
+         ("cat", Json.Str s.cat);
+         ("ph", Json.Str "X");
+         ("ts", Json.Float (us_of_ns s.t0_ns));
+         ("dur", Json.Float (float_of_int (s.t1_ns - s.t0_ns) /. 1e3));
+         ("pid", Json.Int pid);
+         ("tid", Json.Int (tid_of_track s.track));
+       ]
+      @
+      if s.bytes > 0 then
+        [ ("args", Json.Obj [ ("bytes", Json.Int s.bytes) ]) ]
+      else [])
   in
   let thread_name tid name =
     Json.Obj

@@ -10,6 +10,9 @@ type span = {
   cat : string;
   t0_ns : int;
   t1_ns : int;
+  bytes : int;
+      (** payload size on [schedule]/[wire] spans (rendered as a
+          Chrome [args] entry), [0] elsewhere *)
 }
 
 (** Spans of a traced run ([Farm.run ~trace:true]); empty otherwise. *)

@@ -39,6 +39,18 @@ type counters = {
   mutable bytes_recv : int;
   mutable packets_sent : int;
   mutable packets_recv : int;
+  mutable payload_bytes_sent : int;
+      (** message payload bytes only — no packet/frame headers.  The
+          [bytes_*] counters measure what the transport moved; these
+          measure what the caller asked it to move, so framing overhead
+          is the difference. *)
+  mutable payload_bytes_recv : int;
+  mutable zero_copy_bytes_sent : int;
+      (** payload bytes that crossed without an intermediate buffer:
+          float frames written element-by-element straight into shared
+          ring memory.  Always 0 on the socketpair transport (its float
+          frames still stage through the packet scratch buffer). *)
+  mutable zero_copy_bytes_recv : int;
   mutable pack_ns : int;  (** serialisation time, filled by {!Message} *)
   mutable unpack_ns : int;
 }
@@ -51,9 +63,39 @@ let fresh_counters () =
     bytes_recv = 0;
     packets_sent = 0;
     packets_recv = 0;
+    payload_bytes_sent = 0;
+    payload_bytes_recv = 0;
+    zero_copy_bytes_sent = 0;
+    zero_copy_bytes_recv = 0;
     pack_ns = 0;
     unpack_ns = 0;
   }
+
+(** What {!Message} and {!Farm} need from a point-to-point transport.
+    Extracted from the socketpair code below (which implements it as
+    {!Sock}); [Shm_ring] is the second implementation — a pair of
+    mmap'd SPSC rings with the same message semantics and counters.
+
+    [send]/[recv] move opaque byte strings (the [Marshal]-ed control
+    plane).  [send_floats]/[recv_floats] are the bulk-data plane:
+    float payloads framed without [Marshal], bit-exact ([recv_floats]
+    needs the element count, which control messages carry).  [wait_fd]
+    is a descriptor whose readability signals "input may be available"
+    ([Unix.select]-able: the socket itself, or the ring's doorbell);
+    [input_ready] is the non-blocking readiness test (a transport may
+    have buffered input no descriptor shows). *)
+module type TRANSPORT = sig
+  type t
+
+  val send : t -> string -> unit
+  val recv : t -> string
+  val send_floats : t -> float array -> unit
+  val recv_floats : t -> len:int -> float array
+  val counters : t -> counters
+  val wait_fd : t -> Unix.file_descr
+  val input_ready : t -> bool
+  val close : t -> unit
+end
 
 type conn = {
   read_fd : Unix.file_descr;
@@ -91,23 +133,33 @@ let read_fd c = c.read_fd
 
 (* ---------------- pure codec ---------------- *)
 
-let put_header b ~pos ~len ~last =
+(* Bit 1 marks a packet of a float-frame message (the zero-Marshal
+   bulk-data plane, see {!send_floats}).  A floats packet arriving
+   where bytes are expected — or vice versa — is a protocol error, so
+   the two planes can never be silently confused. *)
+let flag_last = 1
+
+let flag_floats = 2
+
+let put_header ?(floats = false) b ~pos ~len ~last =
   Bytes.set b pos (Char.chr ((len lsr 24) land 0xff));
   Bytes.set b (pos + 1) (Char.chr ((len lsr 16) land 0xff));
   Bytes.set b (pos + 2) (Char.chr ((len lsr 8) land 0xff));
   Bytes.set b (pos + 3) (Char.chr (len land 0xff));
-  Bytes.set b (pos + 4) (Char.chr (if last then 1 else 0))
+  Bytes.set b (pos + 4)
+    (Char.chr
+       ((if last then flag_last else 0) lor if floats then flag_floats else 0))
 
 let get_header s ~pos =
   let b i = Char.code s.[pos + i] in
   let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
   let flags = b 4 in
-  if flags land lnot 1 <> 0 then
+  if flags land lnot (flag_last lor flag_floats) <> 0 then
     raise (Protocol_error (Printf.sprintf "unknown packet flags 0x%02x" flags));
   if len > max_chunk_bytes then
     raise
       (Protocol_error (Printf.sprintf "oversized packet chunk (%d bytes)" len));
-  (len, flags land 1 = 1)
+  (len, flags land flag_last <> 0, flags land flag_floats <> 0)
 
 let packets_of_len ~packet_bytes len =
   if len = 0 then 1 else (len + packet_bytes - 1) / packet_bytes
@@ -134,7 +186,9 @@ let decode s ~pos =
   let rec packet pos =
     if pos + header_bytes > n then
       raise (Truncated "input ends inside a packet header");
-    let len, last = get_header s ~pos in
+    let len, last, floats = get_header s ~pos in
+    if floats then
+      raise (Protocol_error "floats packet inside a byte-message stream");
     if pos + header_bytes + len > n then
       raise (Truncated "input ends inside a packet chunk");
     Buffer.add_substring buf s (pos + header_bytes) len;
@@ -186,7 +240,8 @@ let send c payload =
   done;
   c.counters.msgs_sent <- c.counters.msgs_sent + 1;
   c.counters.packets_sent <- c.counters.packets_sent + npk;
-  c.counters.bytes_sent <- c.counters.bytes_sent + len + (npk * header_bytes)
+  c.counters.bytes_sent <- c.counters.bytes_sent + len + (npk * header_bytes);
+  c.counters.payload_bytes_sent <- c.counters.payload_bytes_sent + len
 
 (* First header of a message: a clean EOF before any byte means the
    peer shut down at a frame boundary. *)
@@ -211,7 +266,9 @@ let recv c =
     if not first then
       read_exact c.read_fd c.header 0 header_bytes ~what:"packet header";
     incr npk;
-    let len, last = get_header (Bytes.unsafe_to_string c.header) ~pos:0 in
+    let len, last, floats = get_header (Bytes.unsafe_to_string c.header) ~pos:0 in
+    if floats then
+      raise (Protocol_error "floats packet where a byte message was expected");
     let chunk = Bytes.create len in
     read_exact c.read_fd chunk 0 len ~what:"packet chunk";
     Buffer.add_bytes buf chunk;
@@ -223,9 +280,111 @@ let recv c =
   c.counters.packets_recv <- c.counters.packets_recv + !npk;
   c.counters.bytes_recv <-
     c.counters.bytes_recv + String.length payload + (!npk * header_bytes);
+  c.counters.payload_bytes_recv <-
+    c.counters.payload_bytes_recv + String.length payload;
   payload
+
+(* ---------------- float frames (bulk-data plane) ---------------- *)
+
+(* Float payloads as raw little-endian IEEE-754 bits, skipping
+   [Marshal] entirely: bit-exact by construction (including NaN
+   payloads and signed zeros) and with no graph-walk cost.  On this
+   transport the floats still stage through the packet scratch buffer
+   — the copy the shm ring avoids — so [zero_copy_bytes_*] stays 0;
+   the point of having the same framing here is that {!Message} can
+   run one code path over both transports and the calibration bench
+   can measure exactly the copy the ring saves. *)
+
+let send_floats c (arr : float array) =
+  let total = Array.length arr in
+  let per_packet = max 1 (c.packet_bytes / 8) in
+  let npk = if total = 0 then 1 else (total + per_packet - 1) / per_packet in
+  let src = ref 0 in
+  for p = 0 to npk - 1 do
+    let n = min per_packet (total - !src) in
+    put_header c.out ~pos:0 ~len:(n * 8) ~last:(p = npk - 1) ~floats:true;
+    for i = 0 to n - 1 do
+      Bytes.set_int64_le c.out
+        (header_bytes + (i * 8))
+        (Int64.bits_of_float (Array.unsafe_get arr (!src + i)))
+    done;
+    write_all c.write_fd c.out 0 (header_bytes + (n * 8));
+    src := !src + n
+  done;
+  c.counters.msgs_sent <- c.counters.msgs_sent + 1;
+  c.counters.packets_sent <- c.counters.packets_sent + npk;
+  c.counters.bytes_sent <-
+    c.counters.bytes_sent + (total * 8) + (npk * header_bytes);
+  c.counters.payload_bytes_sent <- c.counters.payload_bytes_sent + (total * 8)
+
+let recv_floats c ~len:total =
+  if total < 0 then invalid_arg "Wire.recv_floats: negative length";
+  let arr = Array.make total 0.0 in
+  let got = ref 0 in
+  let npk = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    if !npk = 0 then read_first_header c
+    else read_exact c.read_fd c.header 0 header_bytes ~what:"packet header";
+    incr npk;
+    let len, last, floats =
+      get_header (Bytes.unsafe_to_string c.header) ~pos:0
+    in
+    if not floats then
+      raise (Protocol_error "byte packet where a floats message was expected");
+    if len mod 8 <> 0 then
+      raise
+        (Protocol_error
+           (Printf.sprintf "floats packet length %d not a multiple of 8" len));
+    let n = len / 8 in
+    if !got + n > total then
+      raise
+        (Protocol_error
+           (Printf.sprintf "floats message longer than announced (%d > %d)"
+              (!got + n) total));
+    let chunk = Bytes.create len in
+    read_exact c.read_fd chunk 0 len ~what:"floats chunk";
+    for i = 0 to n - 1 do
+      Array.unsafe_set arr (!got + i)
+        (Int64.float_of_bits (Bytes.get_int64_le chunk (i * 8)))
+    done;
+    got := !got + n;
+    if last then finished := true
+  done;
+  if !got <> total then
+    raise
+      (Protocol_error
+         (Printf.sprintf "floats message shorter than announced (%d < %d)" !got
+            total));
+  c.counters.msgs_recv <- c.counters.msgs_recv + 1;
+  c.counters.packets_recv <- c.counters.packets_recv + !npk;
+  c.counters.bytes_recv <-
+    c.counters.bytes_recv + (total * 8) + (!npk * header_bytes);
+  c.counters.payload_bytes_recv <- c.counters.payload_bytes_recv + (total * 8);
+  arr
+
+let input_ready c =
+  match Unix.select [ c.read_fd ] [] [] 0.0 with
+  | [], _, _ -> false
+  | _ -> true
 
 let close c =
   (try Unix.close c.read_fd with Unix.Unix_error _ -> ());
   if c.write_fd <> c.read_fd then
     try Unix.close c.write_fd with Unix.Unix_error _ -> ()
+
+(** The socketpair transport, packaged as a {!TRANSPORT}.  [wait_fd]
+    is the socket itself: this transport never buffers ahead, so
+    select-readiness and [input_ready] coincide exactly. *)
+module Sock : TRANSPORT with type t = conn = struct
+  type t = conn
+
+  let send = send
+  let recv = recv
+  let send_floats = send_floats
+  let recv_floats = recv_floats
+  let counters = counters
+  let wait_fd = read_fd
+  let input_ready = input_ready
+  let close = close
+end

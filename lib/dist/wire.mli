@@ -4,8 +4,9 @@
     [Repro_mp.Transport]'s simulated cost profiles.
 
     Packet format: [u32 chunk-length (big-endian) | u8 flags | chunk];
-    flag bit 0 marks the last packet of a message.  A zero-length
-    message is one empty last packet. *)
+    flag bit 0 marks the last packet of a message, flag bit 1 a packet
+    of a float-frame message (the zero-Marshal bulk-data plane).  A
+    zero-length message is one empty last packet. *)
 
 (** Peer closed mid-frame (EOF inside a header or chunk). *)
 exception Truncated of string
@@ -26,9 +27,47 @@ type counters = {
   mutable bytes_recv : int;
   mutable packets_sent : int;
   mutable packets_recv : int;
+  mutable payload_bytes_sent : int;
+      (** payload bytes only, framing excluded — [bytes_* -
+          payload_bytes_*] is the transport's framing overhead *)
+  mutable payload_bytes_recv : int;
+  mutable zero_copy_bytes_sent : int;
+      (** payload bytes moved without an intermediate copy (shm ring
+          float frames); always 0 on this socketpair transport *)
+  mutable zero_copy_bytes_recv : int;
   mutable pack_ns : int;  (** Marshal time, accumulated by {!Message} *)
   mutable unpack_ns : int;
 }
+
+val fresh_counters : unit -> counters
+
+(** The transport abstraction {!Message} and [Farm] are written
+    against: byte messages (Marshal control plane), float messages
+    (zero-Marshal bulk-data plane, element count carried by control
+    messages), counters, and select-compatible readiness.  Implemented
+    by {!Sock} below and by [Shm_ring]. *)
+module type TRANSPORT = sig
+  type t
+
+  val send : t -> string -> unit
+  val recv : t -> string
+  val send_floats : t -> float array -> unit
+  val recv_floats : t -> len:int -> float array
+  val counters : t -> counters
+
+  (** A descriptor whose readability means "input may be available" —
+      the socket itself, or the ring's doorbell.  Spurious wake-ups
+      allowed; missed messages are not.  Check [input_ready] after
+      waking. *)
+  val wait_fd : t -> Unix.file_descr
+
+  (** Non-blocking: is a message (possibly partially) available?  May
+      be true while [wait_fd] shows nothing (ring data published
+      without a doorbell). *)
+  val input_ready : t -> bool
+
+  val close : t -> unit
+end
 
 type conn
 
@@ -73,4 +112,21 @@ val send : conn -> string -> unit
     @raise Truncated on EOF mid-frame. *)
 val recv : conn -> string
 
+(** Send a float payload as raw little-endian IEEE-754 bits (flag bit
+    1 packets): bit-exact, no [Marshal].  Counted under
+    [payload_bytes_*] like any payload; never zero-copy here. *)
+val send_floats : conn -> float array -> unit
+
+(** Receive a float message of exactly [len] elements (the count
+    travels in the preceding control message).
+    @raise Protocol_error on plane confusion or a length mismatch. *)
+val recv_floats : conn -> len:int -> float array
+
+(** Non-blocking readiness probe ([Unix.select] with a 0 timeout). *)
+val input_ready : conn -> bool
+
 val close : conn -> unit
+
+(** The socketpair transport packaged as a {!TRANSPORT} ([wait_fd] =
+    {!read_fd}). *)
+module Sock : TRANSPORT with type t = conn

@@ -14,9 +14,12 @@ val default_argv : unit -> string array
 
 val is_worker_invocation : string array -> bool
 
-(** Serve one coordinator session on stdin (the socketpair end, used
-    in both directions), then [exit].  Never returns. *)
-val main : unit -> 'a
+(** Serve one coordinator session, then [exit]; never returns.  Over
+    the socketpair transport stdin carries the messages (both
+    directions); over shm (selected by an [shm=PATH] argv token, with
+    [p2p=PE:SIDE:PATH] tokens for the peer mesh) stdin is only the
+    doorbell and messages flow through the mapped rings. *)
+val main : string array -> 'a
 
 (** [maybe_run argv] runs {!main} (never returning) iff [argv] marks a
     worker invocation; otherwise returns immediately. *)

@@ -51,6 +51,13 @@ module type S = sig
       input matrices); must not depend on coordinator state. *)
   val execute : size:int -> task -> result
 
+  (** Bulk-result codec for the zero-[Marshal] data plane (see
+      {!Message.payload}): [Some (enc, dec)] when results are
+      float-dominated; [dec (enc r) = r] bit-for-bit.  The executor
+      uses it on {e both} transports — over shm the floats cross
+      without any intermediate copy. *)
+  val result_blob : ((result -> float array) * (float array -> result)) option
+
   (** Sequential reference checksum (same value as
       [Repro_exec.Workload]'s for the same name and size). *)
   val reference : size:int -> int
@@ -96,6 +103,8 @@ module Sumeuler : S = struct
     done;
     !s
 
+  (* one int per task: the marshalled form is already minimal *)
+  let result_blob = None
   let reference ~size = Euler.sum_euler_ref size
 end
 
@@ -139,6 +148,7 @@ module Parfib : S = struct
      [Repro_workloads.Parfib.nfib]. *)
   let rec nfib n = if n < 2 then 1 else nfib (n - 1) + nfib (n - 2) + 1
   let execute ~size:_ n = nfib n
+  let result_blob = None
   let reference ~size = Repro_workloads.Parfib.reference size
 end
 
@@ -216,6 +226,28 @@ module Matmul : S = struct
       let a, b = inputs size in
       rows_kernel a b lo hi
 
+  (* The bulk payload of the whole suite: a block of product rows.
+     Flattened with a [rows; cols] shape prefix — both are far below
+     2^53, so the float round-trip is exact, as is the row data
+     itself (raw IEEE bits either way). *)
+  let result_blob =
+    let enc (rows : result) =
+      let nr = Array.length rows in
+      let nc = if nr = 0 then 0 else Array.length rows.(0) in
+      let out = Array.make (2 + (nr * nc)) 0.0 in
+      out.(0) <- float_of_int nr;
+      out.(1) <- float_of_int nc;
+      Array.iteri
+        (fun i row -> Array.blit row 0 out (2 + (i * nc)) nc)
+        rows;
+      out
+    in
+    let dec (flat : float array) : result =
+      let nr = int_of_float flat.(0) and nc = int_of_float flat.(1) in
+      Array.init nr (fun i -> Array.sub flat (2 + (i * nc)) nc)
+    in
+    Some (enc, dec)
+
   let reference ~size =
     let a, b =
       (Matrix.random ~seed:inputs_seed_a size, Matrix.random ~seed:inputs_seed_b size)
@@ -234,7 +266,8 @@ module Mandelbrot_w : S = struct
 
   type task = int * int  (** inclusive row range *)
 
-  type result = int
+  type result = int array  (** per-row iteration totals for the range *)
+
   type state = unit
 
   let chunk_count size = max 1 (min 128 size)
@@ -243,18 +276,28 @@ module Mandelbrot_w : S = struct
     let chunks = chunk_count size in
     ((), Array.init chunks (block ~size ~chunks), false)
 
-  let step () results = `Done (Array.fold_left ( + ) 0 results)
+  let step () results =
+    `Done
+      (Array.fold_left
+         (fun acc rows -> Array.fold_left ( + ) acc rows)
+         0 results)
 
   let execute ~size (lo, hi) =
-    let s = ref 0 in
-    for y = lo to hi do
-      let _, total =
-        Mandelbrot.compute_row ~view:Mandelbrot.default_view ~width:size
-          ~height:size y
-      in
-      s := !s + total
-    done;
-    !s
+    Array.init
+      (max 0 (hi - lo + 1))
+      (fun i ->
+        let _, total =
+          Mandelbrot.compute_row ~view:Mandelbrot.default_view ~width:size
+            ~height:size (lo + i)
+        in
+        total)
+
+  (* Row totals are iteration counts (far below 2^53): exact as
+     floats, so the rendered rows ride the zero-copy plane. *)
+  let result_blob =
+    let enc (rows : result) = Array.map float_of_int rows in
+    let dec (flat : float array) : result = Array.map int_of_float flat in
+    Some (enc, dec)
 
   let reference ~size = Mandelbrot.reference ~width:size ~height:size ()
 end
@@ -356,6 +399,10 @@ module Apsp_w : S = struct
       in
       { next_pivot; final }
     end
+
+  (* Option-heavy record; rounds ship one pivot row each — not worth
+     a flat encoding. *)
+  let result_blob = None
 
   let round_tasks st =
     Array.map

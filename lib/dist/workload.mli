@@ -33,6 +33,14 @@ module type S = sig
       on coordinator state. *)
   val execute : size:int -> task -> result
 
+  (** Bulk-result codec for the zero-[Marshal] data plane: [Some
+      (enc, dec)] when results are float-dominated and worth shipping
+      as raw frames (matmul row blocks, mandelbrot row totals).
+      [dec (enc r)] must reproduce [r] bit-for-bit — integers encoded
+      as floats must stay below 2{^53}.  [None] keeps the result on
+      the marshalled control plane. *)
+  val result_blob : ((result -> float array) * (float array -> result)) option
+
   (** Sequential reference checksum. *)
   val reference : size:int -> int
 end

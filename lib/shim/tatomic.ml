@@ -41,3 +41,45 @@ module Real = Stdlib.Atomic
 (* Compile-time check that the alias satisfies the signature without
    sealing it (sealing would hide the primitives). *)
 module _ : S = Real
+
+(** A single shared control word, the second shim signature: where {!S}
+    abstracts {e intra-process} atomics (OCaml values, CAS), [WORD]
+    abstracts a plain machine word that two parties hand values
+    through — the head/tail/sleeping words of the shared-memory ring
+    transport ([Repro_dist.Shm_ring]), which live in an [mmap]'d file
+    and are read and written by {e different processes}.
+
+    Only load and store exist: a correct SPSC ring never needs
+    read-modify-write on its cursors (each word has exactly one
+    writer).  Two implementations:
+
+    - [Repro_dist.Shm_ring.Mapped_word]: an 8-byte-aligned slot of the
+      mapped segment (a [Bigarray] int64 element — aligned word loads
+      and stores, which are single instructions on every 64-bit
+      target).
+    - [Repro_check.Sched.Atomic]-backed cells: the model checker
+      instantiates the very same ring protocol functor with traced
+      cells, so DPOR explores the production claim/publish/consume
+      ordering (see [Repro_check.Protocols]'s spsc-ring configs). *)
+module type WORD = sig
+  type t
+
+  val load : t -> int
+  val store : t -> int -> unit
+end
+
+(** Full memory barrier for the Dekker-style sleeper handshake of the
+    ring doorbell (consumer: store [sleeping]=1 {e then} load [tail];
+    producer: store [tail] {e then} load [sleeping]).  Plain mapped
+    stores and loads may be reordered across each other (StoreLoad) by
+    both the hardware and the compiler; an [Atomic.exchange] on a
+    process-local cell is a compiler barrier in the OCaml memory model
+    and compiles to a locked instruction (a full fence) on x86-64 and
+    to ldaxr/stlxr pairs on AArch64.  Each ring side owns its own cell
+    so fences never contend across domains. *)
+module Fence = struct
+  type t = int Real.t
+
+  let create () : t = Real.make 0
+  let full (t : t) = ignore (Real.exchange t 0)
+end

@@ -1,0 +1,4 @@
+(* seeded violation: an shm-ring-style transport publishing its tail
+   cursor through raw Atomic -- invisible to lib/check's DPOR model *)
+let tail = Atomic.make 0
+let publish_frame len = Atomic.set tail len

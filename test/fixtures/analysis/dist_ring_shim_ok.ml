@@ -1,0 +1,12 @@
+(* clean: ring control words behind the shim's WORD signature, the
+   sanctioned pattern of lib/dist/shm_ring (lib/check substitutes
+   traced cells for the mmap'd words) *)
+module Word : Repro_shim.Tatomic.WORD with type t = int ref = struct
+  type t = int ref
+
+  let load r = !r
+  let store r v = r := v
+end
+
+let publish_frame (tail : Word.t) len =
+  Word.store tail (Word.load tail + len)

@@ -40,6 +40,9 @@ let expectations =
       [ ("atomics-discipline", 3); ("atomics-discipline", 5) ] );
     ("atomics_open_bad.ml", [ ("atomics-discipline", 2) ]);
     ("atomics_ok.ml", []);
+    ( "dist_ring_raw_atomic_bad.ml",
+      [ ("atomics-discipline", 3); ("atomics-discipline", 4) ] );
+    ("dist_ring_shim_ok.ml", []);
     ("blocking_bad.ml", [ ("blocking-in-worker", 6) ]);
     ("blocking_ok.ml", []);
     ("discarded_future_bad.ml", [ ("discarded-future", 3) ]);

@@ -9,6 +9,7 @@
 
 open Alcotest
 module Wire = Repro_dist.Wire
+module Shm = Repro_dist.Shm_ring
 module Farm = Repro_dist.Farm
 module Workload = Repro_dist.Workload
 module Measure = Repro_dist.Measure
@@ -183,10 +184,230 @@ let fd_dead_peer_send () =
       | exception Wire.Dead_peer _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* SPSC ring model (the distilled handshake behind the shm frames)     *)
+
+module Plain_word = struct
+  type t = int ref
+
+  let load r = !r
+  let store r v = r := v
+end
+
+module Spsc = Shm.Spsc (Plain_word)
+
+let spsc_of_cap cap =
+  let slots = Array.make cap 0 in
+  Spsc.create ~cap ~tail:(ref 0) ~head:(ref 0) ~get:(Array.get slots)
+    ~set:(Array.set slots)
+
+(* Random push/pop interleavings agree with a Queue reference at every
+   step, for capacities small enough that the cursors lap the ring many
+   times (wrap-around at every [mod cap] point). *)
+let spsc_qcheck =
+  QCheck.Test.make ~name:"spsc ring agrees with a queue reference" ~count:400
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(0 -- 120) bool))
+    (fun (cap, ops) ->
+      let r = spsc_of_cap cap in
+      let q = Queue.create () in
+      let counter = ref 0 in
+      List.for_all
+        (fun push ->
+          if push then begin
+            incr counter;
+            let ok = Spsc.try_push r !counter in
+            let fits = Queue.length q < cap in
+            if fits then Queue.add !counter q;
+            ok = fits && Spsc.length r = Queue.length q
+          end
+          else
+            match (Spsc.try_pop r, Queue.take_opt q) with
+            | Some v, Some w -> v = w && Spsc.length r = Queue.length q
+            | None, None -> true
+            | _ -> false)
+        ops)
+
+(* Deterministic lapping: a full-empty cycle at every offset, for a
+   cursor range that crosses several multiples of the capacity. *)
+let spsc_wrap_around () =
+  List.iter
+    (fun cap ->
+      let r = spsc_of_cap cap in
+      for base = 0 to 8 * cap do
+        for i = 0 to cap - 1 do
+          check bool "push into non-full ring" true
+            (Spsc.try_push r ((base * cap) + i))
+        done;
+        check bool "full ring refuses" false (Spsc.try_push r (-1));
+        check int "full length" cap (Spsc.length r);
+        for i = 0 to cap - 1 do
+          check (option int) "pop in FIFO order"
+            (Some ((base * cap) + i))
+            (Spsc.try_pop r)
+        done;
+        check (option int) "empty ring refuses" None (Spsc.try_pop r)
+      done)
+    [ 1; 2; 3; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared-memory ring transport (in-process, both sides mapped)        *)
+
+let with_shm_pair ?(ring_bytes = 4096) ?(doorbell = false) f =
+  let path = Shm.create_segment ~ring_bytes () in
+  Fun.protect
+    ~finally:(fun () -> Shm.unlink_segment path)
+    (fun () ->
+      if doorbell then begin
+        let da, db = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let a = Shm.attach ~path ~side:`A ~doorbell:da () in
+        let b = Shm.attach ~path ~side:`B ~doorbell:db () in
+        Fun.protect
+          ~finally:(fun () ->
+            Shm.close a;
+            Shm.close b)
+          (fun () -> f a b)
+      end
+      else
+        let a = Shm.attach ~path ~side:`A () in
+        let b = Shm.attach ~path ~side:`B () in
+        f a b)
+
+(* Byte messages round-trip in both directions through one segment;
+   the counters account for every frame header and padding byte. *)
+let shm_roundtrip_counters () =
+  with_shm_pair (fun a b ->
+      let sizes = [ 0; 1; 7; 8; 9; 100; 1000; 2500 ] in
+      List.iter
+        (fun len ->
+          let s = payload_of_len len in
+          Shm.send a s;
+          check string
+            (Printf.sprintf "a->b payload of %d bytes" len)
+            s (Shm.recv b);
+          Shm.send b s;
+          check string
+            (Printf.sprintf "b->a payload of %d bytes" len)
+            s (Shm.recv a))
+        sizes;
+      let total = List.fold_left ( + ) 0 sizes in
+      let ca = Shm.counters a and cb = Shm.counters b in
+      check int "msgs sent" (List.length sizes) ca.Wire.msgs_sent;
+      check int "msgs recv" (List.length sizes) ca.Wire.msgs_recv;
+      check int "payload bytes, no headers" total ca.Wire.payload_bytes_sent;
+      check int "payload bytes received" total cb.Wire.payload_bytes_recv;
+      check int "both ends agree on wire bytes" ca.Wire.bytes_sent
+        cb.Wire.bytes_recv;
+      check bool "frame headers counted" true (ca.Wire.bytes_sent > total);
+      check int "bytes plane is not zero-copy" 0 ca.Wire.zero_copy_bytes_sent)
+
+(* Float payloads cross the ring bit-for-bit — including NaN payload
+   bits, signed zero, infinities and denormals — and are counted on
+   the zero-copy plane. *)
+let float_specials =
+  [|
+    0.0;
+    -0.0;
+    infinity;
+    neg_infinity;
+    nan;
+    Int64.float_of_bits 0x7ff800000000beefL;
+    (* quiet NaN with a payload *)
+    Int64.float_of_bits 0xfff8000000000001L;
+    (* negative quiet NaN *)
+    4.9e-324;
+    (* smallest denormal *)
+    Float.max_float;
+    Float.pi;
+    -1.5e308;
+  |]
+
+let check_bits name expected got =
+  check int "float arrays same length" (Array.length expected)
+    (Array.length got);
+  Array.iteri
+    (fun i x ->
+      check int
+        (Printf.sprintf "%s: element %d bit pattern" name i)
+        (Workload.float_bits x)
+        (Workload.float_bits got.(i)))
+    expected
+
+let shm_float_identity () =
+  with_shm_pair (fun a b ->
+      Shm.send_floats a float_specials;
+      check_bits "shm specials" float_specials
+        (Shm.recv_floats b ~len:(Array.length float_specials));
+      let big = Array.init 300 (fun i -> Float.of_int i *. 0.1) in
+      Shm.send_floats a big;
+      check_bits "shm 300 floats" big (Shm.recv_floats b ~len:300);
+      let ca = Shm.counters a and cb = Shm.counters b in
+      let bytes = 8 * (Array.length float_specials + 300) in
+      check int "zero-copy bytes sent" bytes ca.Wire.zero_copy_bytes_sent;
+      check int "zero-copy bytes received" bytes cb.Wire.zero_copy_bytes_recv;
+      check int "floats also count as payload" bytes
+        ca.Wire.payload_bytes_sent)
+
+(* The socketpair float plane must be bit-identical too (raw LE bits,
+   not text), even though it copies through the scratch buffer. *)
+let sock_float_identity () =
+  with_socketpair (fun a b ->
+      let ca = conn_of a and cb = conn_of b in
+      Wire.send_floats ca float_specials;
+      check_bits "sock specials" float_specials
+        (Wire.recv_floats cb ~len:(Array.length float_specials));
+      check int "sock float plane is copied, not zero-copy" 0
+        (Wire.counters ca).Wire.zero_copy_bytes_sent;
+      check int "payload bytes counted"
+        (8 * Array.length float_specials)
+        (Wire.counters ca).Wire.payload_bytes_sent)
+
+(* A message far larger than the ring streams through it: the producer
+   blocks on the full ring (backpressure) until the consumer frees
+   frames; the doorbell wakes the sleeping consumer mid-stream.  A
+   second domain plays the producer. *)
+let shm_backpressure_doorbell () =
+  with_shm_pair ~ring_bytes:4096 ~doorbell:true (fun a b ->
+      let big = payload_of_len 100_000 in
+      let msgs = 20 in
+      let producer =
+        Domain.spawn (fun () ->
+            for _ = 1 to msgs do
+              Shm.send a big
+            done)
+      in
+      for i = 1 to msgs do
+        let got = Shm.recv b in
+        check bool
+          (Printf.sprintf "streamed message %d intact" i)
+          true (String.equal big got)
+      done;
+      Domain.join producer;
+      check bool "no spurious extra input" false (Shm.input_ready b))
+
+(* Doorbell EOF: the peer vanishing is End_of_file at a message
+   boundary, after any in-flight data has been drained. *)
+let shm_peer_gone () =
+  let path = Shm.create_segment ~ring_bytes:4096 () in
+  Fun.protect
+    ~finally:(fun () -> Shm.unlink_segment path)
+    (fun () ->
+      let da, db = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let a = Shm.attach ~path ~side:`A ~doorbell:da () in
+      let b = Shm.attach ~path ~side:`B ~doorbell:db () in
+      Shm.send a "parting gift";
+      Shm.close a;
+      (* the ring still holds the last message; EOF only after it *)
+      check string "in-flight message survives the close" "parting gift"
+        (Shm.recv b);
+      (match Shm.recv b with
+      | _ -> fail "recv succeeded with a dead peer and an empty ring"
+      | exception End_of_file -> ());
+      Shm.close b)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end multi-process runs                                       *)
 
-let quick_run ?(procs = 2) ?trace (module W : Workload.S) =
-  Farm.run ?trace ~procs ~size:W.quick_size (module W)
+let quick_run ?(procs = 2) ?trace ?transport (module W : Workload.S) =
+  Farm.run ?trace ?transport ~procs ~size:W.quick_size (module W)
 
 (* Exactly-once ledger: the coordinator schedules each task once, the
    workers between them execute each task once, and the combined
@@ -226,6 +447,76 @@ let all_workloads_match_reference () =
         (W.reference ~size:W.quick_size)
         o.Farm.result)
     Workload.all
+
+(* The same five workloads over the shared-memory rings, with three
+   PEs so the peer-to-peer mesh is non-trivial.  Exactly-once still
+   holds, and the workloads that declare a float codec must move their
+   results on the zero-copy plane. *)
+let all_workloads_match_reference_shm () =
+  List.iter
+    (fun (module W : Workload.S) ->
+      let o = quick_run ~procs:3 ~transport:Farm.Shm (module W) in
+      check int
+        (W.name ^ " matches sequential reference over shm")
+        (W.reference ~size:W.quick_size)
+        o.Farm.result;
+      check int
+        (W.name ^ ": every task scheduled exactly once")
+        o.Farm.tasks o.Farm.schedules;
+      let executed =
+        Array.fold_left
+          (fun acc (r : Farm.pe_report) ->
+            acc + r.Farm.stats.Repro_dist.Message.tasks_executed)
+          0 o.Farm.reports
+      in
+      check int
+        (W.name ^ ": every task executed exactly once")
+        o.Farm.tasks executed;
+      let zero_copy =
+        Array.fold_left
+          (fun acc (r : Farm.pe_report) ->
+            acc + r.Farm.stats.Repro_dist.Message.zero_copy_bytes_sent)
+          0 o.Farm.reports
+      in
+      match W.result_blob with
+      | Some _ ->
+          check bool (W.name ^ ": results moved zero-copy") true (zero_copy > 0)
+      | None -> check int (W.name ^ ": no zero-copy traffic") 0 zero_copy)
+    Workload.all
+
+let exactly_once_ledger_shm () =
+  let module W = Workload.Sumeuler in
+  let o = quick_run ~transport:Farm.Shm (module W) in
+  check int "checksum over shm" (W.reference ~size:W.quick_size) o.Farm.result;
+  check int "every task scheduled exactly once" o.Farm.tasks o.Farm.schedules;
+  check bool "no coordinator no-works over shm" true (o.Farm.no_works = 0);
+  check bool "steal accounting is consistent" true
+    (o.Farm.stolen >= 0 && o.Farm.stolen <= o.Farm.tasks);
+  let grants =
+    Array.fold_left
+      (fun acc (r : Farm.pe_report) ->
+        acc + r.Farm.stats.Repro_dist.Message.grants_given)
+      0 o.Farm.reports
+  in
+  (* a granted task can be granted onward before it runs, so grants
+     bound the stolen count from above rather than matching it *)
+  check bool "stolen tasks all came from grants" true (grants >= o.Farm.stolen)
+
+let apsp_shm_pinned () =
+  let module W = Workload.Apsp_w in
+  List.iter
+    (fun (procs, size) ->
+      let o = Farm.run ~transport:Farm.Shm ~procs ~size (module W) in
+      check int
+        (Printf.sprintf "apsp over shm procs=%d size=%d" procs size)
+        (W.reference ~size) o.Farm.result;
+      check int "pinned rounds never steal" 0 o.Farm.stolen)
+    [ (3, 17); (2, 1) ]
+
+let farm_closures_shm () =
+  let fs = List.map (fun x () -> x * 10) [ 1; 2; 3; 4; 5 ] in
+  check (list int) "closure farm over shm" [ 10; 20; 30; 40; 50 ]
+    (Farm.farm ~transport:Farm.Shm ~procs:2 fs)
 
 (* Pinned rounds with awkward divisions: block count not a multiple of
    the PE count, and more PEs than rows. *)
@@ -336,9 +627,23 @@ let suite =
       test_case "clean EOF at a frame boundary" `Quick fd_clean_eof;
       test_case "EOF mid-frame is Truncated" `Quick fd_truncated_frame;
       test_case "send to a dead peer" `Quick fd_dead_peer_send;
+      QCheck_alcotest.to_alcotest spsc_qcheck;
+      test_case "spsc ring wrap-around at every offset" `Quick spsc_wrap_around;
+      test_case "shm ring round trip and counters" `Quick shm_roundtrip_counters;
+      test_case "shm float payloads are bit-identical" `Quick shm_float_identity;
+      test_case "sock float payloads are bit-identical" `Quick
+        sock_float_identity;
+      test_case "shm backpressure and doorbell wake" `Quick
+        shm_backpressure_doorbell;
+      test_case "shm peer death drains then raises" `Quick shm_peer_gone;
       test_case "two-process exactly-once ledger" `Quick exactly_once_ledger;
+      test_case "shm exactly-once ledger" `Quick exactly_once_ledger_shm;
       test_case "all workloads match sequential references" `Quick
         all_workloads_match_reference;
+      test_case "all workloads match references over shm" `Quick
+        all_workloads_match_reference_shm;
+      test_case "apsp pinned rounds over shm" `Quick apsp_shm_pinned;
+      test_case "closure farm over shm" `Quick farm_closures_shm;
       test_case "apsp awkward shapes" `Quick apsp_awkward_shapes;
       test_case "more PEs than tasks" `Quick more_procs_than_tasks;
       test_case "closure farm" `Quick farm_closures;
