@@ -653,9 +653,21 @@ let analyze_cmd =
       & opt_all string []
       & info [ "rule" ]
           ~doc:
-            (Printf.sprintf "Run only rule $(docv) (repeatable). Known: %s."
+            (Printf.sprintf
+               "Run only rule(s) $(docv) (repeatable, comma-separable). \
+                Known: %s."
                (String.concat ", " Repro_analysis.Rules.ids))
-          ~docv:"ID")
+          ~docv:"ID[,ID...]")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ]
+          ~doc:
+            "Summary-cache file keyed by file digest (created if absent): \
+             warm runs skip parsing unchanged files."
+          ~docv:"FILE")
   in
   let baseline_arg =
     Arg.(
@@ -684,7 +696,8 @@ let analyze_cmd =
       value & flag
       & info [ "list-rules" ] ~doc:"List the registered rules and exit.")
   in
-  let run roots rule_ids baseline_arg sarif_arg json_flag list_rules_flag out =
+  let run roots rule_ids cache_arg baseline_arg sarif_arg json_flag
+      list_rules_flag out =
     if list_rules_flag then begin
       let buf = Buffer.create 256 in
       List.iter
@@ -698,7 +711,13 @@ let analyze_cmd =
     end
     else begin
       let rules =
-        match rule_ids with
+        match
+          List.concat_map
+            (fun s ->
+              String.split_on_char ',' s |> List.map String.trim
+              |> List.filter (fun x -> x <> ""))
+            rule_ids
+        with
         | [] -> Rules.all
         | ids ->
             List.map
@@ -709,7 +728,7 @@ let analyze_cmd =
                     Printf.eprintf
                       "repro-cli: analyze: unknown rule %S (known: %s)\n" id
                       (String.concat ", " Rules.ids);
-                    exit 2)
+                    exit 3)
               ids
       in
       let baseline =
@@ -728,10 +747,10 @@ let analyze_cmd =
             try Baseline.load p
             with Sys_error msg | Failure msg ->
               Printf.eprintf "repro-cli: analyze: %s\n" msg;
-              exit 2)
+              exit 3)
       in
       let roots = match roots with [] -> [ "lib"; "bin" ] | rs -> rs in
-      let report = Engine.run ~baseline ~rules roots in
+      let report = Engine.run ~baseline ?cache_file:cache_arg ~rules roots in
       (match sarif_arg with
       | Some path ->
           Json.to_file path (Engine.sarif_report ~rules report);
@@ -741,18 +760,21 @@ let analyze_cmd =
         emit out (Json.to_string (Engine.json_report ~rules report) ^ "\n")
       else emit out (Engine.text_report report);
       if report.Engine.fresh <> [] then exit 1
+      else if report.Engine.stale <> [] then exit 2
     end
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Statically analyze the tree with the AST-level spark-safety rules \
-          (spark-purity, atomics-discipline, blocking-in-worker, \
-          discarded-future, unjoined-domain); exits 1 on any non-baselined \
-          finding")
+         "Statically analyze the tree with the two-phase whole-program \
+          engine: per-file summaries (spark-purity, atomics-discipline, \
+          discarded-future, unjoined-domain) linked into a cross-module \
+          graph (blocking-in-worker, marshal-safety, ring-discipline, \
+          protocol-exhaustiveness). Exits 1 on any non-baselined finding, \
+          2 when only stale baseline entries remain, 3 on usage errors")
     Term.(
-      const run $ roots $ rule_ids $ baseline_arg $ sarif_arg $ json_flag
-      $ list_rules_flag $ out_file)
+      const run $ roots $ rule_ids $ cache_arg $ baseline_arg $ sarif_arg
+      $ json_flag $ list_rules_flag $ out_file)
 
 (* ---------------- check ---------------- *)
 

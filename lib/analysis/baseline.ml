@@ -3,22 +3,33 @@
     One entry per line:
 
     {v
-    <rule-id> <path>:<line> -- <justification>
+    <rule-id> <path>:<line>#<line-hash> -- <justification>
     v}
 
     Blank lines and lines starting with ['#'] are comments.  Paths are
     normalised like {!Finding.normalize_path}, so entries match no
-    matter where the analyzer was launched from.  A finding is
-    suppressed by the first unconsumed entry with the same rule id,
-    file and line; entries that match no finding are reported as
-    {e stale} so the baseline shrinks as code gets fixed.  The
-    justification is mandatory — a suppression nobody can explain is a
-    bug with a paper trail. *)
+    matter where the analyzer was launched from.
+
+    The stable part of the key is the {e line hash} — a 12-hex-char
+    digest of the trimmed source line ({!Finding.hash_line_text}) —
+    so a suppression survives the code above it growing or shrinking:
+    the line {e number} is an advisory hint for humans reading the
+    baseline, never consulted when a hash is present.  Entries written
+    before PR 7 carry no [#hash]; they fall back to exact
+    rule+file+line matching and are migrated by re-running
+    [--suggest]-style output (the [baseline:] line under each finding).
+
+    A finding is suppressed by the first unconsumed matching entry;
+    entries that match no finding are reported as {e stale} so the
+    baseline shrinks as code gets fixed.  The justification is
+    mandatory — a suppression nobody can explain is a bug with a paper
+    trail. *)
 
 type entry = {
   rule : string;
   file : string;
-  line : int;
+  line : int;  (** advisory when [hash] is present *)
+  hash : string;  (** [""] = legacy entry, match on exact line *)
   justification : string;
   source_line : int;  (** line in the baseline file, for stale reports *)
 }
@@ -27,6 +38,8 @@ type t = entry list
 
 let parse_error file lineno msg =
   failwith (Printf.sprintf "%s:%d: baseline syntax error: %s" file lineno msg)
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
 
 (** Parse baseline text.  [name] is used in error messages only. *)
 let of_string ?(name = "<baseline>") text : t =
@@ -38,7 +51,9 @@ let of_string ?(name = "<baseline>") text : t =
       if line <> "" && line.[0] <> '#' then begin
         let entry =
           match String.index_opt line ' ' with
-          | None -> parse_error name lineno "expected '<rule> <path>:<line> -- <why>'"
+          | None ->
+              parse_error name lineno
+                "expected '<rule> <path>:<line>[#hash] -- <why>'"
           | Some sp -> (
               let rule = String.sub line 0 sp in
               let rest = String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) in
@@ -60,6 +75,18 @@ let of_string ?(name = "<baseline>") text : t =
               in
               if justification = "" then
                 parse_error name lineno "empty justification";
+              let loc_part, hash =
+                match String.rindex_opt loc_part '#' with
+                | Some h ->
+                    let hash =
+                      String.sub loc_part (h + 1) (String.length loc_part - h - 1)
+                    in
+                    if hash = "" || not (String.for_all is_hex hash) then
+                      parse_error name lineno
+                        ("bad line hash '" ^ hash ^ "' (lowercase hex expected)");
+                    (String.sub loc_part 0 h, hash)
+                | None -> (loc_part, "")
+              in
               match String.rindex_opt loc_part ':' with
               | None -> parse_error name lineno "expected '<path>:<line>'"
               | Some c -> (
@@ -72,6 +99,7 @@ let of_string ?(name = "<baseline>") text : t =
                         rule;
                         file = Finding.normalize_path path;
                         line;
+                        hash;
                         justification;
                         source_line = lineno;
                       }))
@@ -91,9 +119,20 @@ let load path : t =
   of_string ~name:path text
 
 (** Render a finding as a ready-to-paste baseline line (justification
-    left as a placeholder the committer must fill in). *)
+    left as a placeholder the committer must fill in).  Content-hash
+    keyed whenever the engine filled the finding's [line_hash] in. *)
 let suggest (f : Finding.t) =
-  Printf.sprintf "%s %s:%d -- TODO justify" f.rule f.file f.line
+  if f.line_hash = "" then
+    Printf.sprintf "%s %s:%d -- TODO justify" f.rule f.file f.line
+  else
+    Printf.sprintf "%s %s:%d#%s -- TODO justify" f.rule f.file f.line
+      f.line_hash
+
+let matches (e : entry) (f : Finding.t) =
+  e.rule = f.rule && e.file = f.file
+  &&
+  if e.hash <> "" && f.line_hash <> "" then e.hash = f.line_hash
+  else e.line = f.line
 
 (** Split findings into (fresh, suppressed-with-justification), and
     return the stale entries that matched nothing.  Each entry
@@ -108,7 +147,7 @@ let apply (t : t) (findings : Finding.t list) :
       let rec take acc = function
         | [] -> None
         | e :: rest ->
-            if e.rule = f.rule && e.file = f.file && e.line = f.line then begin
+            if matches e f then begin
               remaining := List.rev_append acc rest;
               Some e
             end

@@ -1,0 +1,59 @@
+(** Digest-keyed summary cache: the reason warm [dune build @lint]
+    runs never re-parse an unchanged file.
+
+    The cache is a single [Marshal]led file mapping
+    [path ^ "\x00" ^ content-digest] to the file's {!Summary}.  Because
+    summaries embed their file-local findings, a hit skips parsing
+    {e and} every file rule.  The format version is baked into the
+    payload and bumped whenever summary extraction or a file rule
+    changes, so a stale-format cache is simply ignored (worst case: one
+    cold run).  Loading never fails — any read/unmarshal error degrades
+    to an empty cache. *)
+
+(* Bump when Summary.t's shape, extraction, or any file-local rule's
+   output changes: cached summaries bake all three in. *)
+let format_version = 2
+
+type t = (string, Summary.t) Hashtbl.t
+
+let key ~path ~digest = Finding.normalize_path path ^ "\x00" ^ digest
+
+let empty () : t = Hashtbl.create 64
+
+let load path : t =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> (Marshal.from_channel ic : int * (string * Summary.t) list))
+  with
+  | version, entries when version = format_version ->
+      let t = empty () in
+      List.iter (fun (k, s) -> Hashtbl.replace t k s) entries;
+      t
+  | _ -> empty ()
+  | exception _ -> empty ()
+
+(** Persist [t], keeping only [live] keys (the files this run saw):
+    deleted and renamed files age out instead of accreting. *)
+let save path (t : t) ~live =
+  let entries =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt t k with Some s -> Some (k, s) | None -> None)
+      (List.sort_uniq String.compare live)
+  in
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Marshal.to_channel oc
+          ((format_version, entries) : int * (string * Summary.t) list)
+          [])
+  with _ -> ()
+
+let find (t : t) ~path ~digest = Hashtbl.find_opt t (key ~path ~digest)
+
+let add (t : t) ~path ~digest summary =
+  Hashtbl.replace t (key ~path ~digest) summary

@@ -1,11 +1,22 @@
-(** The analysis driver: walk source roots, parse each [.ml] with
-    compiler-libs, run the selected {!Rules}, apply the {!Baseline},
-    and render the result (text / JSON / SARIF).
+(** The analysis driver, in two phases.
+
+    {b Phase 1 (summarise)}: walk the source roots, digest every [.ml]
+    file, and obtain its {!Summary} — from the {!Cache} when the digest
+    matches, else by parsing with compiler-libs and extracting facts.
+    Every {e file-local} rule runs here and its findings are stored in
+    the summary, so a cached file costs one [Digest.file] and nothing
+    else.
+
+    {b Phase 2 (link)}: {!Linker.link} the summaries into a
+    whole-program view and run the {e linked} rules (marshal-safety,
+    ring-discipline, protocol-exhaustiveness, interprocedural
+    blocking-in-worker) over it.  Linked rules always run — they are
+    cheap (no parsing) and their findings depend on the whole file set,
+    which the cache cannot key.
 
     Files only have to {e parse} — the engine never typechecks — so it
-    runs on fixture files that reference modules that do not exist, and
-    costs milliseconds on the whole tree.  [.mli] files are skipped:
-    they declare, they do not execute. *)
+    runs on fixture files that reference modules that do not exist.
+    [.mli] files are skipped: they declare, they do not execute. *)
 
 module J = Repro_util.Json_out
 
@@ -15,6 +26,12 @@ type report = {
   suppressed : (Finding.t * string) list;  (** finding, justification *)
   stale : Baseline.entry list;  (** baseline entries that matched nothing *)
   files_scanned : int;
+  files_parsed : int;  (** summarised this run (cache miss or no cache) *)
+  files_cached : int;  (** summary reused from the digest cache *)
+  per_rule : (string * int * int) list;
+      (** rule id, fresh count, suppressed count — selected rules only *)
+  summarize_ms : float;  (** phase 1 wall-clock *)
+  link_ms : float;  (** phase 2 wall-clock *)
 }
 
 let read_file path =
@@ -23,44 +40,93 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(** Parse one file and run [rules] over it (path exemptions applied).
-    A file that fails to parse yields a single [parse-error] finding —
-    the build would reject it anyway, but the analyzer should say
-    where rather than die. *)
-let scan_file ~(rules : Rules.t list) path : Finding.t list =
+let parse_error_finding ~norm exn : Finding.t =
+  let line, col =
+    match exn with
+    | Syntaxerr.Error err ->
+        let loc = Syntaxerr.location_of_error err in
+        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    | _ -> (1, 0)
+  in
+  {
+    Finding.rule = "parse-error";
+    severity = Finding.Error;
+    file = norm;
+    line;
+    col;
+    line_hash = "";
+    message =
+      (match exn with
+      | Syntaxerr.Error _ -> "syntax error"
+      | e -> "cannot parse: " ^ Printexc.to_string e);
+    hint = "fix the syntax error (the build would reject it too)";
+  }
+
+(* Summarise one file from source text.  File-local findings for the
+   FULL registry are computed here (unconditionally): the summary is
+   cached by content digest, and a cache entry must not depend on which
+   [--rule] subset this particular run selected. *)
+let summarize_source ~path ~source ~digest : Summary.t =
   let norm = Finding.normalize_path path in
   match
-    let source = read_file path in
     let lexbuf = Lexing.from_string source in
     Lexing.set_filename lexbuf norm;
     Parse.implementation lexbuf
   with
   | ast ->
-      List.concat_map
-        (fun (r : Rules.t) -> if r.exempt norm then [] else r.check ~file:path ast)
-        rules
-  | exception exn ->
-      let line, col =
-        match exn with
-        | Syntaxerr.Error err ->
-            let loc = Syntaxerr.location_of_error err in
-            (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
-        | _ -> (1, 0)
+      let local_findings =
+        List.map
+          (fun ((r : Rules.t), check) -> (r.Rules.id, check ~file:path ast))
+          (Rules.file_rules Rules.all)
       in
-      [
-        {
-          Finding.rule = "parse-error";
-          severity = Finding.Error;
-          file = norm;
-          line;
-          col;
-          message =
-            (match exn with
-            | Syntaxerr.Error _ -> "syntax error"
-            | e -> "cannot parse: " ^ Printexc.to_string e);
-          hint = "fix the syntax error (the build would reject it too)";
-        };
-      ]
+      Summary.of_ast ~file:path ~source ~digest ~local_findings ast
+  | exception exn ->
+      Summary.of_parse_error ~file:path ~source ~digest
+        ~finding:(parse_error_finding ~norm exn)
+
+(* Pull the selected local findings out of a summary; exemptions and
+   rule selection are applied here, not at summarise time. *)
+let local_findings_of ~selected (s : Summary.t) : Finding.t list =
+  List.concat_map
+    (fun (rule_id, findings) ->
+      if rule_id = "parse-error" then findings
+      else
+        match List.find_opt (fun (r : Rules.t) -> r.Rules.id = rule_id) selected with
+        | Some r when not (r.Rules.exempt s.Summary.s_file) -> findings
+        | _ -> [])
+    s.Summary.s_local_findings
+
+let run_linked ~selected (program : Linker.program) : Finding.t list =
+  List.concat_map
+    (fun ((r : Rules.t), check) ->
+      List.filter
+        (fun (f : Finding.t) -> not (r.Rules.exempt f.Finding.file))
+        (check program))
+    (Rules.linked_rules selected)
+
+(* Fill each finding's [line_hash] from its file's summary — this is
+   what content-hash baseline entries key on. *)
+let attach_hashes (program : Linker.program) findings =
+  List.map
+    (fun (f : Finding.t) ->
+      match Hashtbl.find_opt program.Linker.by_file f.Finding.file with
+      | Some s -> { f with Finding.line_hash = Summary.line_hash s ~line:f.Finding.line }
+      | None -> f)
+    findings
+
+(** Parse one file and run [rules] over it — the single-file view used
+    by fixture tests and editor integrations.  Linked rules run over a
+    one-file program, so cross-module facts are absent but same-file
+    interprocedural facts (a worker loop calling a blocking helper
+    below it) still land. *)
+let scan_file ~(rules : Rules.t list) path : Finding.t list =
+  let source = read_file path in
+  let digest = Digest.to_hex (Digest.string source) in
+  let s = summarize_source ~path ~source ~digest in
+  let program = Linker.link [ s ] in
+  local_findings_of ~selected:rules s @ run_linked ~selected:rules program
+  |> attach_hashes program
+  |> List.sort_uniq Finding.compare
 
 (* Directory walk: skip dotdirs and _build, collect .ml files, sorted
    for deterministic output. *)
@@ -78,16 +144,74 @@ let collect_files roots =
   List.sort String.compare !files
 
 (** Run [rules] over every [.ml] under [roots] and fold the [baseline]
-    in.  Findings are sorted and exact duplicates removed (two rules
+    in.  [cache] names the summary-cache file: digests are checked
+    against it and it is rewritten (pruned to live files) after the
+    run.  Findings are sorted and exact duplicates removed (two rules
     walking the same subtree may agree). *)
-let run ?(baseline : Baseline.t = []) ~(rules : Rules.t list) roots : report =
+let run ?(baseline : Baseline.t = []) ?cache_file ~(rules : Rules.t list) roots
+    : report =
   let files = collect_files roots in
+  let cache =
+    match cache_file with
+    | Some p -> Cache.load p
+    | None -> Cache.empty ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let parsed = ref 0 and cached = ref 0 in
+  let live = ref [] in
+  let summaries =
+    List.map
+      (fun path ->
+        let digest = Digest.to_hex (Digest.file path) in
+        live := Cache.key ~path ~digest :: !live;
+        match Cache.find cache ~path ~digest with
+        | Some s ->
+            incr cached;
+            s
+        | None ->
+            incr parsed;
+            let s = summarize_source ~path ~source:(read_file path) ~digest in
+            Cache.add cache ~path ~digest s;
+            s)
+      files
+  in
+  let t1 = Unix.gettimeofday () in
+  let program = Linker.link summaries in
   let findings =
-    List.concat_map (fun f -> scan_file ~rules f) files
+    List.concat_map (local_findings_of ~selected:rules) summaries
+    @ run_linked ~selected:rules program
+    |> attach_hashes program
     |> List.sort_uniq Finding.compare
   in
+  let t2 = Unix.gettimeofday () in
+  (match cache_file with
+  | Some p -> Cache.save p cache ~live:!live
+  | None -> ());
   let fresh, suppressed, stale = Baseline.apply baseline findings in
-  { findings; fresh; suppressed; stale; files_scanned = List.length files }
+  let per_rule =
+    List.map
+      (fun (r : Rules.t) ->
+        ( r.Rules.id,
+          List.length
+            (List.filter (fun (f : Finding.t) -> f.Finding.rule = r.Rules.id) fresh),
+          List.length
+            (List.filter
+               (fun ((f : Finding.t), _) -> f.Finding.rule = r.Rules.id)
+               suppressed) ))
+      rules
+  in
+  {
+    findings;
+    fresh;
+    suppressed;
+    stale;
+    files_scanned = List.length files;
+    files_parsed = !parsed;
+    files_cached = !cached;
+    per_rule;
+    summarize_ms = (t1 -. t0) *. 1000.;
+    link_ms = (t2 -. t1) *. 1000.;
+  }
 
 (* ---------------- rendering ---------------- *)
 
@@ -111,9 +235,11 @@ let text_report ?(verbose = true) (r : report) : string =
     r.stale;
   Buffer.add_string buf
     (Printf.sprintf
-       "%d file(s) scanned: %d finding(s), %d suppressed by baseline, %d \
-        stale baseline entr%s\n"
-       r.files_scanned (List.length r.fresh)
+       "%d file(s) scanned (%d parsed, %d from cache; summarise %.1f ms, link \
+        %.1f ms): %d finding(s), %d suppressed by baseline, %d stale baseline \
+        entr%s\n"
+       r.files_scanned r.files_parsed r.files_cached r.summarize_ms r.link_ms
+       (List.length r.fresh)
        (List.length r.suppressed)
        (List.length r.stale)
        (if List.length r.stale = 1 then "y" else "ies"));
@@ -124,9 +250,19 @@ let text_report ?(verbose = true) (r : report) : string =
 let json_report ~(rules : Rules.t list) (r : report) : J.t =
   J.Obj
     [
-      ("schema", J.Str "repro/analysis/v1");
+      ("schema", J.Str "repro/analysis/v2");
       ("rules", J.List (List.map (fun (ru : Rules.t) -> J.Str ru.id) rules));
       ("files_scanned", J.Int r.files_scanned);
+      ("files_parsed", J.Int r.files_parsed);
+      ("files_cached", J.Int r.files_cached);
+      ("summarize_ms", J.Float r.summarize_ms);
+      ("link_ms", J.Float r.link_ms);
+      ( "per_rule",
+        J.Obj
+          (List.map
+             (fun (id, fresh, supp) ->
+               (id, J.Obj [ ("fresh", J.Int fresh); ("suppressed", J.Int supp) ]))
+             r.per_rule) );
       ("findings", J.List (List.map Finding.to_json r.fresh));
       ( "suppressed",
         J.List
@@ -145,6 +281,7 @@ let json_report ~(rules : Rules.t list) (r : report) : J.t =
                    ("rule", J.Str e.rule);
                    ("file", J.Str e.file);
                    ("line", J.Int e.line);
+                   ("hash", J.Str e.hash);
                  ])
              r.stale) );
     ]

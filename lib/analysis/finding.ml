@@ -18,9 +18,20 @@ type t = {
   file : string;  (** normalised, '/'-separated *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching compiler convention *)
+  line_hash : string;
+      (** content hash of the (trimmed) source line the finding sits
+          on — the stable part of the baseline key, so an entry
+          survives the line shifting up or down the file.  [""] until
+          {!Engine} fills it in. *)
   message : string;
   hint : string;  (** how to fix or silence the finding *)
 }
+
+(** The digest baselines key on: the trimmed text of the source line.
+    Leading/trailing whitespace is stripped so re-indentation does not
+    churn the baseline; 12 hex chars keep collisions far below the
+    per-(rule,file) namespace they live in. *)
+let hash_line_text text = String.sub (Digest.to_hex (Digest.string (String.trim text))) 0 12
 
 (** Drop leading [./] and [../] segments and collapse backslashes so
     the same file yields the same path no matter which directory the
@@ -63,6 +74,7 @@ let to_json t : Repro_util.Json_out.t =
       ("file", J.Str t.file);
       ("line", J.Int t.line);
       ("col", J.Int t.col);
+      ("line_hash", J.Str t.line_hash);
       ("message", J.Str t.message);
       ("hint", J.Str t.hint);
     ]

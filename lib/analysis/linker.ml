@@ -1,0 +1,255 @@
+(** Phase 2 of the two-phase engine: link per-file {!Summary} values
+    into a whole-program view.
+
+    Linking is name resolution over the summaries — no typed tree, no
+    cmt files.  An identifier [[x]] resolves to defs named [x] in the
+    same file; [[...; M; f]] resolves to defs named [f] in any summary
+    whose module name is [M].  That is deliberately over-approximate
+    (two modules with the same basename alias each other) and
+    under-approximate (functor applications, first-class modules), the
+    right trade-off for a lint: the linked rules only report what they
+    can show a concrete witness chain for. *)
+
+type resolved = { target_file : string; target : Summary.def }
+
+type program = {
+  files : Summary.t list;  (** sorted by [s_file] *)
+  by_module : (string, Summary.t list) Hashtbl.t;
+  by_file : (string, Summary.t) Hashtbl.t;
+  fd_taint : (string * string, string) Hashtbl.t;
+      (** (file, def-name) -> witness chain, for defs that {e hold} a
+          marshal-unsafe resource (the resource name is embedded in the
+          witness).  Function defs that merely construct a resource
+          when called are keyed separately in {!fn_taint}. *)
+  fn_taint : (string * string, string * string) Hashtbl.t;
+      (** (file, fn-name) -> (resource name, witness): calling this
+          function returns/creates the resource *)
+}
+
+let defs_of s = s.Summary.s_defs
+
+(** All defs [parts] can refer to, seen from [from] (a summary).
+    Resolution never crosses into a different module for a bare
+    identifier, and for a qualified one only matches the final module
+    segment — aliases ([module M = Message]) thus still resolve as
+    long as the alias matches nothing else. *)
+let resolve program ~(from : Summary.t) parts : resolved list =
+  match parts with
+  | [] -> []
+  | [ x ] ->
+      List.filter_map
+        (fun d ->
+          if d.Summary.d_name = x then
+            Some { target_file = from.Summary.s_file; target = d }
+          else None)
+        (defs_of from)
+  | _ -> (
+      match List.rev parts with
+      | f :: rev_mods -> (
+          let modname =
+            match rev_mods with m :: _ -> Some m | [] -> None
+          in
+          match modname with
+          | None -> []
+          | Some m -> (
+              match Hashtbl.find_opt program.by_module m with
+              | None -> []
+              | Some summaries ->
+                  List.concat_map
+                    (fun s ->
+                      List.filter_map
+                        (fun d ->
+                          if d.Summary.d_name = f && d.Summary.d_top then
+                            Some { target_file = s.Summary.s_file; target = d }
+                          else None)
+                        (defs_of s))
+                    summaries))
+      | [] -> [])
+
+(* ---------------- resource taint fixpoint ---------------- *)
+
+(* Two lattices, computed together to a fixpoint:
+   - fn_taint: a *function* def whose body constructs a resource, or
+     calls a fn-tainted function — calling it yields a live resource.
+   - fd_taint: a *value* def that holds a resource right now: its RHS
+     constructs one, calls an fn-tainted function, or references an
+     fd-tainted value.  Only these make marshalling the capture wrong;
+     capturing a maker function is harmless until it is called. *)
+let compute_taint program =
+  let changed = ref true in
+  let add_fn file def resource witness =
+    let key = (file, def.Summary.d_name) in
+    if not (Hashtbl.mem program.fn_taint key) then begin
+      Hashtbl.replace program.fn_taint key (resource, witness);
+      changed := true
+    end
+  in
+  let add_val file def witness =
+    let key = (file, def.Summary.d_name) in
+    if not (Hashtbl.mem program.fd_taint key) then begin
+      Hashtbl.replace program.fd_taint key witness;
+      changed := true
+    end
+  in
+  (* seed: direct constructors *)
+  List.iter
+    (fun s ->
+      let file = s.Summary.s_file in
+      List.iter
+        (fun d ->
+          match d.Summary.d_resources with
+          | (r, spelled, _) :: _ ->
+              let w =
+                Printf.sprintf "%s (via %s in %s)" (Summary.resource_name r)
+                  spelled file
+              in
+              if d.Summary.d_is_fun then add_fn file d (Summary.resource_name r) w
+              else add_val file d w
+          | [] -> ())
+        (defs_of s))
+    program.files;
+  (* propagate through calls/references *)
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        let file = s.Summary.s_file in
+        List.iter
+          (fun d ->
+            if
+              not
+                (Hashtbl.mem program.fd_taint (file, d.Summary.d_name)
+                && Hashtbl.mem program.fn_taint (file, d.Summary.d_name))
+            then
+              List.iter
+                (fun (parts, _) ->
+                  List.iter
+                    (fun { target_file; target } ->
+                      (* referencing / calling an fn-tainted function *)
+                      (match
+                         Hashtbl.find_opt program.fn_taint
+                           (target_file, target.Summary.d_name)
+                       with
+                      | Some (res, w) ->
+                          let w' =
+                            Printf.sprintf "%s -> %s" d.Summary.d_name w
+                          in
+                          if d.Summary.d_is_fun then add_fn file d res w'
+                          else add_val file d w'
+                      | None -> ());
+                      (* referencing an fd-tainted value *)
+                      if not d.Summary.d_is_fun then
+                        match
+                          Hashtbl.find_opt program.fd_taint
+                            (target_file, target.Summary.d_name)
+                        with
+                        | Some w ->
+                            add_val file d
+                              (Printf.sprintf "%s -> %s" d.Summary.d_name w)
+                        | None -> ())
+                    (resolve program ~from:s parts))
+                d.Summary.d_calls)
+          (defs_of s))
+      program.files
+  done
+
+let link (summaries : Summary.t list) : program =
+  let files =
+    List.sort (fun a b -> String.compare a.Summary.s_file b.Summary.s_file) summaries
+  in
+  let by_module = Hashtbl.create 64 and by_file = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace by_file s.Summary.s_file s;
+      let prev =
+        match Hashtbl.find_opt by_module s.Summary.s_module with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace by_module s.Summary.s_module (s :: prev))
+    files;
+  let program =
+    { files; by_module; by_file; fd_taint = Hashtbl.create 32; fn_taint = Hashtbl.create 32 }
+  in
+  compute_taint program;
+  program
+
+(** The witness chain for a captured identifier that resolves to a
+    resource-holding {e value} def, if any. *)
+let capture_taint program ~(from : Summary.t) parts =
+  List.find_map
+    (fun { target_file; target } ->
+      if target.Summary.d_is_fun then None
+      else Hashtbl.find_opt program.fd_taint (target_file, target.Summary.d_name))
+    (resolve program ~from parts)
+
+(** Does a capture's target resolve to a top-level (module-state) def?
+    Used by the lost-write check: assigning a worker-side copy of a
+    coordinator global is silently discarded. *)
+let capture_is_global program ~(from : Summary.t) parts =
+  List.exists
+    (fun { target; _ } -> target.Summary.d_top && not target.Summary.d_is_fun)
+    (resolve program ~from parts)
+
+(* ---------------- blocking reachability ---------------- *)
+
+type blocking_witness = {
+  b_file : string;  (** file of the blocking primitive *)
+  b_prim : string;
+  b_loc : Summary.loc;
+  b_root : string;  (** the worker-loop root the chain starts from *)
+  b_chain : string list;  (** def names from root to the blocking def *)
+}
+
+(** BFS from every worker-loop root ([worker_loop] / [idle_wait] defs
+    and [Domain.spawn] lambdas) in [roots_from] files, over resolved
+    calls through the whole program; [skip_file] drops edges into
+    exempt files (lib/check drives workers deterministically and may
+    block by design).  Returns every blocking primitive reachable,
+    located at the primitive itself. *)
+let blocking_from_workers program ~roots_from ~skip_file : blocking_witness list =
+  let out = ref [] in
+  let visited = Hashtbl.create 64 in
+  let rec visit ~root ~chain (file : string) (d : Summary.def) =
+    let key = (file, d.Summary.d_name, d.Summary.d_loc) in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.replace visited key ();
+      let chain = chain @ [ d.Summary.d_name ] in
+      List.iter
+        (fun (prim, loc) ->
+          out :=
+            { b_file = file; b_prim = prim; b_loc = loc; b_root = root; b_chain = chain }
+            :: !out)
+        d.Summary.d_blocking;
+      match Hashtbl.find_opt program.by_file file with
+      | None -> ()
+      | Some s ->
+          List.iter
+            (fun (parts, _) ->
+              List.iter
+                (fun { target_file; target } ->
+                  if not (skip_file target_file) then
+                    visit ~root ~chain target_file target)
+                (resolve program ~from:s parts))
+            d.Summary.d_calls
+    end
+  in
+  List.iter
+    (fun (s : Summary.t) ->
+      if not (skip_file s.Summary.s_file) then begin
+        List.iter
+          (fun d ->
+            if Astutil.SSet.mem d.Summary.d_name Astutil.worker_roots then
+              visit ~root:d.Summary.d_name ~chain:[] s.Summary.s_file d)
+          (defs_of s);
+        List.iter
+          (fun d -> visit ~root:"Domain.spawn" ~chain:[] s.Summary.s_file d)
+          s.Summary.s_spawn_bodies
+      end)
+    roots_from;
+  (* stable order: by file, then location *)
+  List.sort
+    (fun a b ->
+      let c = String.compare a.b_file b.b_file in
+      if c <> 0 then c else compare a.b_loc b.b_loc)
+    !out

@@ -1,20 +1,31 @@
-(** The rule registry: AST-level checks over compiler-libs parsetrees.
+(** The rule registry.
 
-    Every rule works on the {e untyped} parsetree ([Parse.implementation]
-    output), which is what makes the engine dependency-free: fixture
-    files and scanned sources only have to parse, not typecheck.  The
-    flip side is that rules are name-based — [module A = Atomic] is
-    resolved by an explicit alias pass, but an alias smuggled through a
-    functor argument is invisible.  Each rule documents its blind spots;
-    the suppression baseline ({!Baseline}) is the escape hatch for
-    intentional violations.
+    Two rule shapes:
 
-    Rules replace the PR 2 line-regex scanner ([tools/lint_atomics.ml]):
-    operating on the AST means comments, string literals, local module
-    aliases and [open Stdlib.Atomic] are all handled for free, and every
-    finding carries an exact [file:line:col]. *)
+    - {b File} rules check one parsetree at a time (spark purity,
+      atomics discipline, discarded results).  They run during phase 1
+      and their findings are stored inside the file's {!Summary}, so a
+      digest-cached file never re-runs them.
+    - {b Linked} rules run during phase 2 over the {!Linker.program}
+      built from every summary (marshal safety, ring discipline,
+      protocol exhaustiveness, interprocedural blocking-in-worker).
+      They are the rules that see across module boundaries.
+
+    Every rule works on the {e untyped} parsetree (via its summary),
+    which is what makes the engine dependency-free: scanned sources
+    only have to parse, not typecheck.  The flip side is that rules are
+    name-based — [module A = Atomic] is resolved by an explicit alias
+    pass, but an alias smuggled through a functor argument is
+    invisible.  Each rule documents its blind spots; the suppression
+    baseline ({!Baseline}) is the escape hatch for intentional
+    violations. *)
 
 open Parsetree
+open Astutil
+
+type kind =
+  | File of (file:string -> Parsetree.structure -> Finding.t list)
+  | Linked of (Linker.program -> Finding.t list)
 
 type t = {
   id : string;  (** stable id used in output, baselines and [--rule] *)
@@ -22,35 +33,10 @@ type t = {
   doc : string;  (** one-line description for [--list-rules] and SARIF *)
   hint : string;  (** generic fix hint attached to every finding *)
   exempt : string -> bool;  (** normalised-path-based exemption *)
-  check : file:string -> Parsetree.structure -> Finding.t list;
+  kind : kind;
 }
 
-(* ---------------- shared helpers ---------------- *)
-
-module SSet = Set.Make (String)
-
 let no_exempt _ = false
-
-let path_has sub path =
-  let n = String.length path and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub path i m = sub || go (i + 1)) in
-  go 0
-
-let lid_parts (lid : Longident.t) =
-  match Longident.flatten lid with parts -> parts | exception _ -> []
-
-(* [Stdlib.Atomic.get] and [Atomic.get] are the same thing. *)
-let strip_stdlib = function "Stdlib" :: rest -> rest | parts -> parts
-
-let last_part parts =
-  match List.rev parts with [] -> None | x :: _ -> Some x
-
-let dotted parts = String.concat "." parts
-
-let expr_ident e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some (lid_parts txt)
-  | _ -> None
 
 let mk ~rule ~severity ~hint ~file (loc : Location.t) message : Finding.t =
   let p = loc.loc_start in
@@ -60,69 +46,23 @@ let mk ~rule ~severity ~hint ~file (loc : Location.t) message : Finding.t =
     file = Finding.normalize_path file;
     line = p.pos_lnum;
     col = p.pos_cnum - p.pos_bol;
+    line_hash = "";
     message;
     hint;
   }
 
-(* Visit [e]'s immediate children with [f] (generic one-level descent:
-   lets each rule intercept the constructs it cares about and delegate
-   the rest of the traversal, scoped state included, back to itself). *)
-let descend_children f e =
-  let it =
-    { Ast_iterator.default_iterator with expr = (fun _ c -> f c) }
-  in
-  Ast_iterator.default_iterator.expr it e
-
-(* Iterate every expression in a structure (any depth). *)
-let iter_exprs str f =
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun self e ->
-          f e;
-          Ast_iterator.default_iterator.expr self e);
-    }
-  in
-  it.structure it str
-
-(* Every value binding in the file, any nesting depth. *)
-let iter_value_bindings str f =
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      value_binding =
-        (fun self vb ->
-          f vb;
-          Ast_iterator.default_iterator.value_binding self vb);
-    }
-  in
-  it.structure it str
-
-let rec simple_var pat =
-  match pat.ppat_desc with
-  | Ppat_var { txt; _ } -> Some txt
-  | Ppat_constraint (p, _) -> simple_var p
-  | _ -> None
-
-let rec is_wildcard pat =
-  match pat.ppat_desc with
-  | Ppat_any -> true
-  | Ppat_constraint (p, _) -> is_wildcard p
-  | _ -> false
-
-(* Strip the parameter prefix of a syntactic function, returning the
-   body (or bodies, for [function]-style case lists). *)
-let rec fun_bodies e =
-  match e.pexp_desc with
-  | Pexp_fun (_, _, _, body) -> fun_bodies body
-  | Pexp_function cases -> List.map (fun c -> c.pc_rhs) cases
-  | _ -> [ e ]
-
-let is_syntactic_fun e =
-  match e.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ -> true
-  | _ -> false
+(* Same, from a summary location (linked rules never hold a parsetree). *)
+let mkl ~rule ~severity ~hint ~file (loc : Summary.loc) message : Finding.t =
+  {
+    rule;
+    severity;
+    file;
+    line = loc.Summary.l_line;
+    col = loc.Summary.l_col;
+    line_hash = "";
+    message;
+    hint;
+  }
 
 (* ================ rule 1: spark-purity ================ *)
 
@@ -155,88 +95,6 @@ let is_spark_entry fn =
       | Some l -> SSet.mem l spark_entry_names
       | None -> false)
   | None -> false
-
-let inplace_writers =
-  List.map
-    (fun p -> (dotted p, ()))
-    [
-      [ "Array"; "set" ]; [ "Array"; "unsafe_set" ]; [ "Array"; "fill" ];
-      [ "Array"; "blit" ]; [ "Bytes"; "set" ]; [ "Bytes"; "unsafe_set" ];
-      [ "Bytes"; "fill" ]; [ "Bytes"; "blit" ]; [ "Hashtbl"; "add" ];
-      [ "Hashtbl"; "replace" ]; [ "Hashtbl"; "remove" ]; [ "Hashtbl"; "reset" ];
-      [ "Hashtbl"; "clear" ]; [ "Buffer"; "add_string" ]; [ "Buffer"; "add_char" ];
-      [ "Buffer"; "clear" ]; [ "Buffer"; "reset" ]; [ "Queue"; "push" ];
-      [ "Queue"; "add" ]; [ "Queue"; "pop" ]; [ "Queue"; "take" ];
-      [ "Stack"; "push" ]; [ "Stack"; "pop" ];
-    ]
-
-let is_inplace_writer parts = List.mem_assoc (dotted parts) inplace_writers
-
-let is_atomic_write parts =
-  match (parts, last_part parts) with
-  | _, None | [], _ | [ _ ], _ -> false
-  | head :: _, Some l ->
-      let anywhere = [ "compare_and_set"; "fetch_and_add"; "exchange" ] in
-      let atomic_mods = [ "Atomic"; "Tatomic" ] in
-      List.mem l anywhere
-      || (List.mem head atomic_mods && List.mem l [ "set"; "incr"; "decr" ])
-
-let io_unqualified =
-  SSet.of_list
-    [
-      "print_string"; "print_endline"; "print_int"; "print_char";
-      "print_float"; "print_newline"; "prerr_string"; "prerr_endline";
-      "prerr_newline"; "read_line"; "read_int"; "exit";
-    ]
-
-let io_modules = SSet.of_list [ "Printf"; "Format"; "Unix"; "Out_channel"; "In_channel" ]
-
-let io_pure_fns =
-  SSet.of_list
-    [ "sprintf"; "asprintf"; "ksprintf"; "kasprintf"; "gettimeofday"; "time" ]
-
-let is_io parts =
-  match parts with
-  | [ x ] -> SSet.mem x io_unqualified
-  | head :: _ -> (
-      SSet.mem head io_modules
-      && match last_part parts with
-         | Some l -> not (SSet.mem l io_pure_fns)
-         | None -> false)
-  | [] -> false
-
-let is_raise parts =
-  match parts with
-  | [ x ] -> List.mem x [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
-  | _ -> false
-
-(* RHS shapes that allocate state owned by the binder: [ref e],
-   [Array.make ...], [Buffer.create ...], a literal [| ... |], ... *)
-let rec is_fresh_alloc e =
-  match e.pexp_desc with
-  | Pexp_array _ -> true
-  | Pexp_constraint (e, _) -> is_fresh_alloc e
-  | Pexp_apply (fn, _) -> (
-      match expr_ident fn with
-      | Some parts -> (
-          match strip_stdlib parts with
-          | [ "ref" ] -> true
-          | _ :: _ :: _ as p -> (
-              match last_part p with
-              | Some l ->
-                  List.mem l
-                    [ "make"; "create"; "init"; "copy"; "make_matrix"; "create_float" ]
-              | None -> false)
-          | _ -> false)
-      | None -> false)
-  | _ -> false
-
-type purity_env = { fresh : SSet.t; in_try : bool }
-
-let is_fresh_ident env e =
-  match e.pexp_desc with
-  | Pexp_ident { txt = Longident.Lident x; _ } -> SSet.mem x env.fresh
-  | _ -> false
 
 (* Walk a spark-closure body (or a helper body when [check_raise] is
    false), calling [emit loc msg] on every impure construct. *)
@@ -394,7 +252,7 @@ let spark_purity =
     (* lib/check deliberately sparks raising/violating closures — that
        is what a model-checking protocol is. *)
     exempt = (fun p -> path_has "lib/check/" p);
-    check;
+    kind = File check;
   }
 
 (* ================ rule 2: atomics-discipline ================ *)
@@ -515,30 +373,22 @@ let atomics_discipline =
        opens) and Obj.magic are forbidden outside lib/shim and lib/check";
     hint;
     exempt = (fun p -> path_has "lib/shim/" p || path_has "lib/check/" p);
-    check;
+    kind = File check;
   }
 
-(* ================ rule 3: blocking-in-worker ================ *)
+(* ================ rule 3: blocking-in-worker (linked) ================ *)
 
 (* A pool worker that blocks the OS thread starves every spark behind
    it — and, if the blocked operation waits on another spark, can
    deadlock the pool.  Roots are the conventional worker entry points
    ([worker_loop], [idle_wait]) plus any lambda passed to
-   [Domain.spawn]; reachability is a file-local call graph over
-   unqualified names (cross-module calls are invisible — each module's
-   own loops must be scanned in its own file). *)
+   [Domain.spawn]; reachability follows the {e linked} call graph, so a
+   blocking primitive two modules away from the loop is found, located
+   at the primitive itself.  Edges into exempt files are dropped:
+   lib/check deliberately models blocking inside its simulated
+   workers. *)
 
-let blocking_prims =
-  SSet.of_list
-    [
-      "Unix.sleep"; "Unix.sleepf"; "Unix.select"; "Mutex.lock";
-      "Condition.wait"; "Event.sync"; "Domain.join"; "Thread.delay";
-      "Thread.join"; "input_line"; "input_char"; "really_input";
-      "really_input_string"; "read_line"; "In_channel.input_line";
-      "In_channel.input_all"; "In_channel.really_input_string";
-    ]
-
-let worker_roots = SSet.of_list [ "worker_loop"; "idle_wait" ]
+let blocking_exempt p = path_has "lib/check/" p
 
 let blocking_in_worker =
   let id = "blocking-in-worker" in
@@ -548,98 +398,26 @@ let blocking_in_worker =
      backoff, or the pool's parking handshake; baseline designed blocking \
      points with a justification"
   in
-  let check ~file str =
-    (* name -> bodies, for every binding in the file *)
-    let bindings = Hashtbl.create 64 in
-    iter_value_bindings str (fun vb ->
-        match simple_var vb.pvb_pat with
-        | Some name ->
-            Hashtbl.add bindings name
-              (List.concat_map fun_bodies [ vb.pvb_expr ])
-        | None -> ());
-    (* seed bodies: named roots + lambdas passed to Domain.spawn *)
-    let seed_names =
-      SSet.filter (fun n -> Hashtbl.mem bindings n) worker_roots
-    in
-    let spawn_lambdas = ref [] in
-    iter_exprs str (fun e ->
-        match e.pexp_desc with
-        | Pexp_apply (fn, args) -> (
-            match expr_ident fn with
-            | Some parts when strip_stdlib parts = [ "Domain"; "spawn" ] ->
-                List.iter
-                  (fun (_, a) ->
-                    if is_syntactic_fun a then
-                      spawn_lambdas := fun_bodies a @ !spawn_lambdas)
-                  args
-            | _ -> ())
-        | _ -> ());
-    (* reachability over unqualified name references *)
-    let referenced_names body =
-      let acc = ref SSet.empty in
-      let rec go e =
-        (match e.pexp_desc with
-        | Pexp_ident { txt = Longident.Lident x; _ } ->
-            if Hashtbl.mem bindings x then acc := SSet.add x !acc
-        | _ -> ());
-        descend_children go e
-      in
-      go body;
-      !acc
-    in
-    let visited = ref SSet.empty in
-    let reachable_bodies = ref [] in
-    let rec visit name =
-      if not (SSet.mem name !visited) then begin
-        visited := SSet.add name !visited;
-        List.iter
-          (fun bodies ->
-            List.iter
-              (fun b ->
-                reachable_bodies := b :: !reachable_bodies;
-                SSet.iter visit (referenced_names b))
-              bodies)
-          (Hashtbl.find_all bindings name)
-      end
-    in
-    SSet.iter visit seed_names;
-    List.iter
-      (fun b ->
-        reachable_bodies := b :: !reachable_bodies;
-        SSet.iter visit (referenced_names b))
-      !spawn_lambdas;
-    (* scan reachable bodies for blocking primitives *)
-    let acc = ref [] in
-    let emit loc msg =
-      acc := mk ~rule:id ~severity ~hint ~file loc msg :: !acc
-    in
-    let rec scan e =
-      (match e.pexp_desc with
-      | Pexp_ident { txt; loc } ->
-          let name = dotted (strip_stdlib (lid_parts txt)) in
-          if SSet.mem name blocking_prims then
-            emit loc
-              (Printf.sprintf
-                 "%s is reachable from a pool worker loop and blocks the OS \
-                  thread (starving every spark behind it)"
-                 name)
-      | _ -> ());
-      descend_children scan e
-    in
-    List.iter scan !reachable_bodies;
-    !acc
+  let check (program : Linker.program) =
+    Linker.blocking_from_workers program ~roots_from:program.Linker.files
+      ~skip_file:blocking_exempt
+    |> List.map (fun (w : Linker.blocking_witness) ->
+           mkl ~rule:id ~severity ~hint ~file:w.Linker.b_file w.Linker.b_loc
+             (Printf.sprintf
+                "%s is reachable from a pool worker loop and blocks the OS \
+                 thread (starving every spark behind it)"
+                w.Linker.b_prim))
   in
   {
     id;
     severity;
     doc =
       "blocking primitives (Unix.sleep, Mutex.lock, Condition.wait, channel \
-       reads, ...) reachable from worker-loop bodies stall the executor";
+       reads, ...) reachable from worker-loop bodies — across module \
+       boundaries — stall the executor";
     hint;
-    (* lib/check deliberately models blocking inside its simulated
-       workers; the real-executor discipline does not apply there. *)
-    exempt = (fun p -> path_has "lib/check/" p);
-    check;
+    exempt = blocking_exempt;
+    kind = Linked check;
   }
 
 (* ================ rules 4 & 5: discarded results ================ *)
@@ -709,7 +487,7 @@ let discarded_future =
        forced, so exceptions raised by its closure are silently dropped";
     hint;
     exempt = no_exempt;
-    check;
+    kind = File check;
   }
 
 let unjoined_domain =
@@ -743,7 +521,231 @@ let unjoined_domain =
        in sequence position can never be joined";
     hint;
     exempt = no_exempt;
-    check;
+    kind = File check;
+  }
+
+(* ================ rule 6: marshal-safety (linked) ================ *)
+
+(* A closure handed to [Farm.farm] (or marshalled with
+   [Marshal.Closures]) is byte-copied into a worker with a private
+   heap.  Three things silently go wrong:
+
+   - a captured [Unix.file_descr] is an integer naming a kernel object
+     the worker does not have — the copy is dead;
+   - a captured [Mutex.t]/[Condition.t]/[Atomic.t] is a fresh private
+     copy — the worker "synchronises" against nothing; Bigarrays are
+     custom blocks [Marshal] refuses outright;
+   - a write to captured module-level state lands on the worker's
+     snapshot and never reaches the coordinator.
+
+   The capture's resolution runs through the linked taint fixpoint, so
+   an fd threaded through a helper module ([let fd = Helper.log_fd])
+   is still caught.  Blind spots: resources inside containers (a
+   [fd list]) and captures of function {e results} computed at call
+   time. *)
+
+let marshal_safety =
+  let id = "marshal-safety" in
+  let severity = Finding.Error in
+  let hint =
+    "pass the resource's *name* (a path, a key) and re-open it worker-side, \
+     or return results through the protocol instead of writing captured state"
+  in
+  let check (program : Linker.program) =
+    List.concat_map
+      (fun (s : Summary.t) ->
+        List.concat_map
+          (fun (m : Summary.marshal_site) ->
+            let cap_findings =
+              List.filter_map
+                (fun (c : Summary.capture) ->
+                  match
+                    Linker.capture_taint program ~from:s c.Summary.c_parts
+                  with
+                  | Some witness ->
+                      Some
+                        (mkl ~rule:id ~severity ~hint ~file:s.Summary.s_file
+                           c.Summary.c_loc
+                           (Printf.sprintf
+                              "closure passed to %s captures %s, which holds \
+                               %s: the marshalled copy is dead or private on \
+                               the worker"
+                              m.Summary.m_entry c.Summary.c_name witness))
+                  | None -> None)
+                m.Summary.m_captures
+            in
+            let write_findings =
+              List.filter_map
+                (fun (w : Summary.capture) ->
+                  if Linker.capture_is_global program ~from:s w.Summary.c_parts
+                  then
+                    Some
+                      (mkl ~rule:id ~severity ~hint ~file:s.Summary.s_file
+                         w.Summary.c_loc
+                         (Printf.sprintf
+                            "closure passed to %s writes captured module \
+                             state %s: on a private-heap worker the write \
+                             lands on a marshalled snapshot and is silently \
+                             lost"
+                            m.Summary.m_entry w.Summary.c_name))
+                  else None)
+                m.Summary.m_writes
+            in
+            cap_findings @ write_findings)
+          s.Summary.s_marshal_sites)
+      program.Linker.files
+  in
+  {
+    id;
+    severity;
+    doc =
+      "closures crossing a process boundary (Farm.farm, Marshal.Closures) \
+       must not capture fds, locks, atomics or Bigarrays, nor write captured \
+       module state";
+    hint;
+    (* lib/check farms deliberately-hostile closures at the model
+       checker; fixture-style violation corpora live under test/. *)
+    exempt = (fun p -> path_has "lib/check/" p);
+    kind = Linked check;
+  }
+
+(* ================ rule 7: ring-discipline (linked) ================ *)
+
+(* The SPSC ring's correctness argument (model-checked in lib/check)
+   covers exactly the code inside [Shm_ring]: cursor reads/writes with
+   their documented fence pattern, frame Bigarray slicing against a
+   published tail.  Cursor arithmetic or frame-plane access anywhere
+   else is outside the proof.  Inside the ring module, every publishing
+   store (tail/head bump, doorbell arm) must have a [Tatomic.Fence.full]
+   in an enclosing binding — the StoreLoad edges of the Dekker
+   handshake. *)
+
+let ring_module_file p = Filename.basename p = "shm_ring.ml"
+
+let ring_discipline =
+  let id = "ring-discipline" in
+  let severity = Finding.Error in
+  let hint =
+    "go through Shm_ring's API (write_frame/consume/frame slices); if the \
+     ring itself changed, pair the store with the documented \
+     Tatomic.Fence.full"
+  in
+  let check (program : Linker.program) =
+    List.concat_map
+      (fun (s : Summary.t) ->
+        if ring_module_file s.Summary.s_file then
+          List.map
+            (fun (label, loc) ->
+              mkl ~rule:id ~severity ~hint ~file:s.Summary.s_file loc
+                (Printf.sprintf
+                   "store to ring word %s has no Tatomic.Fence.full in its \
+                    enclosing binding: the StoreLoad edge of the SPSC/doorbell \
+                    handshake is unordered"
+                   label))
+            s.Summary.s_unfenced_stores
+        else
+          List.map
+            (fun (t : Summary.ring_touch) ->
+              mkl ~rule:id ~severity ~hint ~file:s.Summary.s_file
+                t.Summary.r_loc
+                (Printf.sprintf
+                   "%s outside Shm_ring: cursor arithmetic and frame access \
+                    are only model-checked inside the ring module"
+                   t.Summary.r_desc))
+            s.Summary.s_ring_touches)
+      program.Linker.files
+  in
+  {
+    id;
+    severity;
+    doc =
+      "ring cursor words and frame Bigarray planes are touched only inside \
+       Shm_ring, where every publishing store pairs with the documented fence";
+    hint;
+    (* the shim defines the word/fence ops themselves; lib/check
+       instantiates the ring functor over traced cells. *)
+    exempt = (fun p -> path_has "lib/shim/" p || path_has "lib/check/" p);
+    kind = Linked check;
+  }
+
+(* ================ rule 8: protocol-exhaustiveness (linked) ================ *)
+
+(* A protocol type is a variant [t] declared in a module [M] that also
+   defines [recv_t] — the wire decoder.  Every constructor of such a
+   type must be handled {e explicitly} by at least one dispatch match
+   over a [recv_t] call somewhere in the program: a constructor only
+   ever swallowed by wildcards is a send the receiving side will bounce
+   as a runtime [Protocol_error].  (Per-site wildcards stay legal —
+   the handshake phase of the coordinator deliberately accepts only
+   [Ready] — the rule asks that each message be handled *somewhere* on
+   the receiving side.) *)
+
+let protocol_exhaustiveness =
+  let id = "protocol-exhaustiveness" in
+  let severity = Finding.Error in
+  let hint =
+    "add an explicit match arm for the constructor in the receiving \
+     dispatch (or delete the constructor if the message is dead)"
+  in
+  let check (program : Linker.program) =
+    List.concat_map
+      (fun (s : Summary.t) ->
+        List.concat_map
+          (fun (v : Summary.variant_decl) ->
+            let recv_name = "recv_" ^ v.Summary.v_type in
+            if not (List.mem recv_name s.Summary.s_recv_fns) then []
+            else
+              let sites =
+                List.concat_map
+                  (fun (site : Summary.t) ->
+                    List.filter
+                      (fun (d : Summary.dispatch) ->
+                        d.Summary.p_recv = recv_name
+                        &&
+                        match d.Summary.p_recv_mod with
+                        | Some m -> m = s.Summary.s_module
+                        | None -> site.Summary.s_module = s.Summary.s_module)
+                      site.Summary.s_dispatches)
+                  program.Linker.files
+              in
+              if sites = [] then []
+              else
+                let handled =
+                  List.fold_left
+                    (fun acc (d : Summary.dispatch) ->
+                      List.fold_left
+                        (fun acc c -> SSet.add c acc)
+                        acc d.Summary.p_handled)
+                    SSet.empty sites
+                in
+                List.filter_map
+                  (fun (cname, cloc) ->
+                    if SSet.mem cname handled then None
+                    else
+                      Some
+                        (mkl ~rule:id ~severity ~hint ~file:s.Summary.s_file
+                           cloc
+                           (Printf.sprintf
+                              "constructor %s of %s.%s is never handled \
+                               explicitly by any dispatch over %s (%d site%s \
+                               checked): receivers bounce it as a runtime \
+                               protocol error"
+                              cname s.Summary.s_module v.Summary.v_type
+                              recv_name (List.length sites)
+                              (if List.length sites = 1 then "" else "s"))))
+                  v.Summary.v_constrs)
+          s.Summary.s_variants)
+      program.Linker.files
+  in
+  {
+    id;
+    severity;
+    doc =
+      "every constructor of a wire protocol variant (a type t with a recv_t \
+       decoder) is matched explicitly by some receiving dispatch";
+    hint;
+    exempt = no_exempt;
+    kind = Linked check;
   }
 
 (* ---------------- registry ---------------- *)
@@ -755,8 +757,21 @@ let all =
     blocking_in_worker;
     discarded_future;
     unjoined_domain;
+    marshal_safety;
+    ring_discipline;
+    protocol_exhaustiveness;
   ]
 
 let ids = List.map (fun r -> r.id) all
 
 let find id = List.find_opt (fun r -> r.id = id) all
+
+let file_rules rules =
+  List.filter_map
+    (fun r -> match r.kind with File f -> Some (r, f) | Linked _ -> None)
+    rules
+
+let linked_rules rules =
+  List.filter_map
+    (fun r -> match r.kind with Linked f -> Some (r, f) | File _ -> None)
+    rules

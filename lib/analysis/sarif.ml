@@ -10,7 +10,7 @@ module J = Repro_util.Json_out
 
 let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
 let tool_name = "repro-lint"
-let tool_version = "1.0.0"
+let tool_version = "1.1.0"
 
 let level_of = function
   | Finding.Error -> "error"
@@ -55,6 +55,18 @@ let result ?suppression (f : Finding.t) : J.t =
               ];
           ] );
     ]
+  in
+  let base =
+    (* Content-addressed identity: lets SARIF consumers (GitHub code
+       scanning) track a result across runs even as line numbers
+       shift — the same digest the baseline keys on. *)
+    if f.line_hash = "" then base
+    else
+      base
+      @ [
+          ( "partialFingerprints",
+            J.Obj [ ("lineHash/v1", J.Str f.line_hash) ] );
+        ]
   in
   match suppression with
   | None -> J.Obj base

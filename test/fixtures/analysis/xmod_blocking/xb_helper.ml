@@ -1,0 +1,2 @@
+(* the blocking primitive lives here, far from any worker loop *)
+let nap job = Unix.sleepf (float_of_int job)

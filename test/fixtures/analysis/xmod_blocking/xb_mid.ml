@@ -1,0 +1,2 @@
+(* the innocent middleman: no blocking of its own *)
+let relay job = Xb_helper.nap job

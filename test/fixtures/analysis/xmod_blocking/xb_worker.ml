@@ -1,0 +1,8 @@
+(* seeded violation: the blocking call is two modules away -- the loop
+   only sees Xb_mid.relay, which in turn calls Xb_helper.nap *)
+let rec worker_loop q =
+  match q with
+  | [] -> ()
+  | job :: rest ->
+      Xb_mid.relay job;
+      worker_loop rest

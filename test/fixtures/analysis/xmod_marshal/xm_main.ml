@@ -1,0 +1,5 @@
+(* seeded violation: the farmed closure captures an fd threaded through
+   a helper module -- the marshalled copy is dead on the worker *)
+let fd = Xm_res.log_fd
+
+let run jobs = Farm.farm (fun job -> ignore fd; job * 2) jobs

@@ -1,0 +1,5 @@
+(* clean: the closure captures only the path (a string); the worker
+   opens its own descriptor out-of-band *)
+let log_path = "/tmp/farm.log"
+
+let run jobs = Farm.farm (fun job -> String.length log_path + job) jobs

@@ -1,0 +1,2 @@
+(* the resource is made here: a file descriptor held in module state *)
+let log_fd = Unix.openfile "/tmp/farm.log" [ Unix.O_WRONLY ] 0o644

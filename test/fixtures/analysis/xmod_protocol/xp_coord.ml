@@ -1,0 +1,7 @@
+(* seeded violation: Fault is only ever swallowed by the wildcard --
+   a worker reporting an error gets a runtime protocol bounce *)
+let await ic =
+  match Xp_msg.recv_to_coordinator ic with
+  | Xp_msg.Done n -> n
+  | Xp_msg.Idle -> 0
+  | _ -> failwith "protocol"

@@ -1,0 +1,7 @@
+(* the wire protocol: variant types with their recv_* decoders *)
+type to_worker = Assign of int | Drain | Quit
+
+type to_coordinator = Done of int | Idle | Fault of string
+
+let recv_to_worker ic = (Marshal.from_channel ic : to_worker)
+let recv_to_coordinator ic = (Marshal.from_channel ic : to_coordinator)

@@ -1,0 +1,6 @@
+(* the worker side handles every to_worker constructor *)
+let serve ic =
+  match Xp_msg.recv_to_worker ic with
+  | Xp_msg.Assign n -> n
+  | Xp_msg.Drain -> 0
+  | Xp_msg.Quit -> -1

@@ -1,0 +1,4 @@
+(* clean: frame traffic goes through Shm_ring's own API *)
+let send ring payload = Shm_ring.write_frame ring payload
+
+let drain ring handle = Shm_ring.consume ring handle

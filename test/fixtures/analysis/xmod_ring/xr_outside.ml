@@ -1,0 +1,4 @@
+(* seeded violation: cursor arithmetic on ring words outside Shm_ring *)
+let fast_forward r n = r.tail_local <- n
+
+let ring_doorbell r = Shm_ring.Mapped_word.store r.sleeping_w 0

@@ -1,0 +1,10 @@
+(* seeded violation: a ring module whose tail publish has no
+   Tatomic.Fence.full in the enclosing binding (StoreLoad unordered) *)
+type t = { tail_w : int ref; head_w : int ref }
+
+module Mapped_word = struct
+  let load r = !r
+  let store r v = r := v
+end
+
+let publish t n = Mapped_word.store t.tail_w n

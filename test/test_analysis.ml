@@ -31,7 +31,7 @@ let expectations =
     ("spark_purity_raise_bad.ml", [ ("spark-purity", 3) ]);
     ("spark_purity_ok.ml", []);
     ( "dist_submit_bad.ml",
-      [ ("spark-purity", 9); ("spark-purity", 10) ] );
+      [ ("marshal-safety", 9); ("spark-purity", 9); ("spark-purity", 10) ] );
     ("dist_submit_ok.ml", []);
     ("atomics_raw_bad.ml", [ ("atomics-discipline", 2) ]);
     ("atomics_stdlib_bad.ml", [ ("atomics-discipline", 2) ]);
@@ -61,17 +61,86 @@ let fixture_case (name, expected) () =
     name expected
     (pairs (scan name))
 
+(* ---------------- cross-module fixture groups ---------------- *)
+
+(* Each group is a directory of files that only violate a rule when
+   linked together; expectations are exact (rule, file, line) triples.
+   The group file counts feed the whole-tree aggregate below. *)
+let group_expectations =
+  [
+    ( "xmod_blocking",
+      3,
+      [ ("blocking-in-worker", "xmod_blocking/xb_helper.ml", 2) ] );
+    ( "xmod_marshal",
+      3,
+      [ ("marshal-safety", "xmod_marshal/xm_main.ml", 5) ] );
+    ( "xmod_protocol",
+      3,
+      [ ("protocol-exhaustiveness", "xmod_protocol/xp_msg.ml", 4) ] );
+    ( "xmod_ring",
+      2,
+      [
+        ("ring-discipline", "xmod_ring/xr_outside.ml", 2);
+        ("ring-discipline", "xmod_ring/xr_outside.ml", 4);
+        ("ring-discipline", "xmod_ring/xr_outside.ml", 4);
+      ] );
+    ( "xmod_ring_fenced",
+      1,
+      [ ("ring-discipline", "xmod_ring_fenced/shm_ring.ml", 10) ] );
+  ]
+
+(* strip the fixtures/analysis/ prefix so the tables above stay short *)
+let strip_fixture_prefix f =
+  let p = fixture_dir ^ "/" in
+  if String.length f > String.length p && String.sub f 0 (String.length p) = p
+  then String.sub f (String.length p) (String.length f - String.length p)
+  else f
+
+let group_case (dir, nfiles, expected) () =
+  let r = Engine.run ~rules:Rules.all [ fixture dir ] in
+  check int (dir ^ " file count") nfiles r.Engine.files_scanned;
+  check
+    (list (pair string (pair string int)))
+    dir
+    (List.map (fun (rule, file, line) -> (rule, (file, line))) expected)
+    (List.map
+       (fun (f : Finding.t) -> (f.rule, (strip_fixture_prefix f.file, f.line)))
+       r.Engine.fresh)
+
+(* A lone file from a group shows nothing: the facts only become a
+   violation when the linker sees the other modules. *)
+let singleton_scan_misses_cross_module () =
+  check
+    (list (pair string int))
+    "xb_worker alone" []
+    (pairs (scan "xmod_blocking/xb_worker.ml"));
+  check
+    (list (pair string int))
+    "xm_main alone" []
+    (pairs (scan "xmod_marshal/xm_main.ml"));
+  check
+    (list (pair string int))
+    "xp_msg alone" []
+    (pairs (scan "xmod_protocol/xp_msg.ml"))
+
 (* The whole fixture tree through Engine.run: file count and total
-   finding count must agree with the per-file table (no fixture is
-   silently skipped, no finding double-reported). *)
+   finding count must agree with the per-file and per-group tables (no
+   fixture silently skipped, no finding double-reported, and linking
+   all groups at once does not cross-contaminate them). *)
 let engine_run_aggregates () =
   let r = Engine.run ~rules:Rules.all [ fixture_dir ] in
-  check int "files scanned" (List.length expectations) r.Engine.files_scanned;
+  check int "files scanned"
+    (List.length expectations
+    + List.fold_left (fun a (_, n, _) -> a + n) 0 group_expectations)
+    r.Engine.files_scanned;
   check int "total findings"
-    (List.fold_left (fun a (_, e) -> a + List.length e) 0 expectations)
+    (List.fold_left (fun a (_, e) -> a + List.length e) 0 expectations
+    + List.fold_left (fun a (_, _, e) -> a + List.length e) 0 group_expectations)
     (List.length r.Engine.fresh);
   check int "nothing suppressed without a baseline" 0
-    (List.length r.Engine.suppressed)
+    (List.length r.Engine.suppressed);
+  check int "every file parsed, none cached" r.Engine.files_scanned
+    r.Engine.files_parsed
 
 (* Rule ids are the stable interface for baselines and --rule: lock
    them down. *)
@@ -79,7 +148,8 @@ let rule_ids_stable () =
   check (list string) "registry ids"
     [
       "spark-purity"; "atomics-discipline"; "blocking-in-worker";
-      "discarded-future"; "unjoined-domain";
+      "discarded-future"; "unjoined-domain"; "marshal-safety";
+      "ring-discipline"; "protocol-exhaustiveness";
     ]
     Rules.ids
 
@@ -150,6 +220,11 @@ let sarif_shape () =
       suppressed;
       stale = [];
       files_scanned = 1;
+      files_parsed = 1;
+      files_cached = 0;
+      per_rule = [];
+      summarize_ms = 0.;
+      link_ms = 0.;
     }
   in
   let s = Repro_util.Json_out.to_string (Engine.sarif_report ~rules:Rules.all report) in
@@ -165,10 +240,98 @@ let sarif_shape () =
 let json_shape () =
   let r = Engine.run ~rules:Rules.all [ fixture_dir ] in
   let s = Repro_util.Json_out.to_string (Engine.json_report ~rules:Rules.all r) in
-  check bool "schema id" true (contains ~sub:"repro/analysis/v1" s);
+  check bool "schema id" true (contains ~sub:"repro/analysis/v2" s);
   check bool "stable rule listing" true
     (contains ~sub:"\"spark-purity\"" s);
-  check bool "findings carry hints" true (contains ~sub:"\"hint\"" s)
+  check bool "findings carry hints" true (contains ~sub:"\"hint\"" s);
+  check bool "per-rule counts present" true (contains ~sub:"\"per_rule\"" s);
+  check bool "cache counters present" true (contains ~sub:"\"files_cached\"" s)
+
+(* ---------------- content-hash baseline keys ---------------- *)
+
+(* The stable part of a baseline key is the digest of the finding's
+   source line: a hash entry suppresses even when its advisory line
+   number is wrong, and a wrong hash goes stale like any other
+   mismatch. *)
+let baseline_hash_keying () =
+  let findings = scan "spark_purity_ref_bad.ml" in
+  let f = List.hd findings in
+  check int "engine filled line_hash" 12 (String.length f.Finding.line_hash);
+  let entry line hash =
+    Baseline.of_string
+      (Printf.sprintf "spark-purity %s:%d#%s -- seeded fixture"
+         (fixture "spark_purity_ref_bad.ml") line hash)
+  in
+  (* right hash, hopelessly wrong advisory line: still suppresses *)
+  let fresh, suppressed, stale =
+    Baseline.apply (entry 999 f.Finding.line_hash) findings
+  in
+  check int "hash match silences" 0 (List.length fresh);
+  check int "suppressed" 1 (List.length suppressed);
+  check int "not stale" 0 (List.length stale);
+  (* right line, wrong hash: entry goes stale, finding stays fresh *)
+  let fresh, _, stale =
+    Baseline.apply (entry f.Finding.line "aaaaaaaaaaaa") findings
+  in
+  check int "hash mismatch keeps finding" 1 (List.length fresh);
+  check int "entry reported stale" 1 (List.length stale);
+  (* suggest emits the hash-keyed format *)
+  check bool "suggest carries the hash" true
+    (contains ~sub:("#" ^ f.Finding.line_hash) (Baseline.suggest f))
+
+let baseline_rejects_bad_hash () =
+  check_raises "malformed hash"
+    (Failure
+       "<baseline>:1: baseline syntax error: bad line hash 'ZZZ' (lowercase \
+        hex expected)")
+    (fun () ->
+      ignore (Baseline.of_string "spark-purity lib/a.ml:3#ZZZ -- why"))
+
+(* ---------------- summary cache ---------------- *)
+
+(* Digest-keyed cache: second run parses nothing; editing the file
+   invalidates its entry and its findings change accordingly. *)
+let cache_invalidation () =
+  let tmp = Filename.concat (Filename.get_temp_dir_name ()) "repro_analysis_cache_test" in
+  let src = Filename.concat tmp "src" in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm tmp;
+  Sys.mkdir tmp 0o700;
+  Sys.mkdir src 0o700;
+  Fun.protect ~finally:(fun () -> rm tmp) @@ fun () ->
+  let file = Filename.concat src "a.ml" in
+  let write text =
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc
+  in
+  let cache_file = Filename.concat tmp "summaries.bin" in
+  write "let x = 1\n";
+  let r1 = Engine.run ~cache_file ~rules:Rules.all [ src ] in
+  check int "cold run parses" 1 r1.Engine.files_parsed;
+  check int "cold run caches nothing" 0 r1.Engine.files_cached;
+  let r2 = Engine.run ~cache_file ~rules:Rules.all [ src ] in
+  check int "warm run parses nothing" 0 r2.Engine.files_parsed;
+  check int "warm run hits the cache" 1 r2.Engine.files_cached;
+  check int "warm findings identical" (List.length r1.Engine.fresh)
+    (List.length r2.Engine.fresh);
+  (* edit the file: summary recomputed, new finding surfaces *)
+  write "let tail = Atomic.make 0\n";
+  let r3 = Engine.run ~cache_file ~rules:Rules.all [ src ] in
+  check int "edited file re-parsed" 1 r3.Engine.files_parsed;
+  check int "stale entry not reused" 0 r3.Engine.files_cached;
+  check
+    (list (pair string int))
+    "fresh summary carries the new finding"
+    [ ("atomics-discipline", 1) ]
+    (List.map (fun (f : Finding.t) -> (f.rule, f.line)) r3.Engine.fresh)
 
 (* The production tree must be clean modulo the checked-in baseline —
    the same gate `dune build @lint` applies, exercised here from the
@@ -195,7 +358,18 @@ let suite =
       (fun (name, expected) ->
         test_case ("fixture " ^ name) `Quick (fixture_case (name, expected)))
       expectations
+    @ List.map
+        (fun ((dir, _, _) as g) ->
+          test_case ("linked group " ^ dir) `Quick (group_case g))
+        group_expectations
     @ [
+        test_case "singleton scan misses cross-module facts" `Quick
+          singleton_scan_misses_cross_module;
+        test_case "baseline keys on line content hash" `Quick
+          baseline_hash_keying;
+        test_case "baseline rejects malformed hashes" `Quick
+          baseline_rejects_bad_hash;
+        test_case "summary cache invalidates on edit" `Quick cache_invalidation;
         test_case "engine run aggregates fixtures" `Quick engine_run_aggregates;
         test_case "rule ids are stable" `Quick rule_ids_stable;
         test_case "baseline silences and un-silences" `Quick baseline_roundtrip;

@@ -1,25 +1,33 @@
-(* Command-line driver for the AST-level analyzer (lib/analysis), wired
+(* Command-line driver for the two-phase analyzer (lib/analysis), wired
    as `dune build @lint` and usable standalone:
 
-     repro_lint [--baseline FILE] [--rule ID]... [--json] [--sarif FILE]
-                [--list-rules] [ROOT]...
+     repro_lint [--baseline FILE] [--cache FILE] [--rule ID[,ID...]]...
+                [--json] [--sarif FILE] [--list-rules] [ROOT]...
 
-   Scans every .ml under the given roots (default: lib bin), runs the
-   rule registry, subtracts the suppression baseline, and exits 1 if
-   any fresh finding remains (2 on usage/baseline errors).  This
-   replaces the PR 2 line-regex scanner tools/lint_atomics.ml: the
-   same three disciplines (raw Atomic, Obj.magic, discarded
-   Domain.spawn) are now AST-checked — see test/fixtures/analysis for
-   the ported seeded violations — alongside spark-purity,
-   blocking-in-worker and discarded-future. *)
+   Scans every .ml under the given roots (default: lib bin), summarises
+   each file (digest-cached when --cache names a file), links the
+   summaries, runs the rule registry, and subtracts the suppression
+   baseline.
+
+   Exit codes:
+     0  clean
+     1  fresh (non-baselined) findings
+     2  no fresh findings, but stale baseline entries — the baseline
+        must shrink with the code it excuses
+     3  usage or baseline syntax errors *)
 
 module Engine = Repro_analysis.Engine
 module Rules = Repro_analysis.Rules
 module Baseline = Repro_analysis.Baseline
 module Json = Repro_util.Json_out
 
+let split_rules s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
 let () =
   let baseline_path = ref None in
+  let cache_path = ref None in
   let rule_ids = ref [] in
   let json = ref false in
   let sarif_path = ref None in
@@ -29,10 +37,13 @@ let () =
     [
       ( "--baseline",
         Arg.String (fun s -> baseline_path := Some s),
-        "FILE Suppression baseline (rule path:line -- justification)" );
+        "FILE Suppression baseline (rule path:line#hash -- justification)" );
+      ( "--cache",
+        Arg.String (fun s -> cache_path := Some s),
+        "FILE Summary cache keyed by file digest (created if absent)" );
       ( "--rule",
-        Arg.String (fun s -> rule_ids := s :: !rule_ids),
-        "ID Run only this rule (repeatable)" );
+        Arg.String (fun s -> rule_ids := split_rules s @ !rule_ids),
+        "ID[,ID...] Run only these rules (repeatable, comma-separable)" );
       ("--json", Arg.Set json, " Emit the JSON report on stdout");
       ( "--sarif",
         Arg.String (fun s -> sarif_path := Some s),
@@ -45,7 +56,7 @@ let () =
   if !list_rules then begin
     List.iter
       (fun (r : Rules.t) ->
-        Printf.printf "%-20s %-7s %s\n" r.id
+        Printf.printf "%-24s %-7s %s\n" r.id
           (Repro_analysis.Finding.severity_to_string r.severity)
           r.doc)
       Rules.all;
@@ -62,7 +73,7 @@ let () =
             | None ->
                 Printf.eprintf "repro_lint: unknown rule %S (known: %s)\n" id
                   (String.concat ", " Rules.ids);
-                exit 2)
+                exit 3)
           ids
   in
   let baseline =
@@ -72,13 +83,14 @@ let () =
         try Baseline.load p
         with Sys_error msg | Failure msg ->
           Printf.eprintf "repro_lint: %s\n" msg;
-          exit 2)
+          exit 3)
   in
   let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
-  let report = Engine.run ~baseline ~rules roots in
+  let report = Engine.run ~baseline ?cache_file:!cache_path ~rules roots in
   (match !sarif_path with
   | Some path -> Json.to_file path (Engine.sarif_report ~rules report)
   | None -> ());
   if !json then print_string (Json.to_string (Engine.json_report ~rules report) ^ "\n")
   else print_string (Engine.text_report report);
   if report.Engine.fresh <> [] then exit 1
+  else if report.Engine.stale <> [] then exit 2
