@@ -18,8 +18,9 @@ let emit out s =
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc s;
-      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc s);
       Printf.eprintf "wrote %s\n%!" path
 
 let quick =
@@ -696,7 +697,16 @@ let analyze_cmd =
       value & flag
       & info [ "list-rules" ] ~doc:"List the registered rules and exit.")
   in
-  let run roots rule_ids cache_arg baseline_arg sarif_arg json_flag
+  let since_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "since" ]
+          ~doc:
+            "Report only on files changed since git $(docv) plus their              reverse call-graph dependents; the whole tree is still              summarised and linked so cross-module rules keep their global              view."
+          ~docv:"REF")
+  in
+  let run roots rule_ids cache_arg baseline_arg sarif_arg since_arg json_flag
       list_rules_flag out =
     if list_rules_flag then begin
       let buf = Buffer.create 256 in
@@ -750,7 +760,18 @@ let analyze_cmd =
               exit 3)
       in
       let roots = match roots with [] -> [ "lib"; "bin" ] | rs -> rs in
-      let report = Engine.run ~baseline ?cache_file:cache_arg ~rules roots in
+      let since_files =
+        match since_arg with
+        | None -> None
+        | Some ref_ -> (
+            try Some (Engine.changed_since ref_)
+            with Failure msg ->
+              Printf.eprintf "repro-cli: analyze: --since %s: %s\n" ref_ msg;
+              exit 3)
+      in
+      let report =
+        Engine.run ~baseline ?cache_file:cache_arg ?since_files ~rules roots
+      in
       (match sarif_arg with
       | Some path ->
           Json.to_file path (Engine.sarif_report ~rules report);
@@ -760,7 +781,9 @@ let analyze_cmd =
         emit out (Json.to_string (Engine.json_report ~rules report) ^ "\n")
       else emit out (Engine.text_report report);
       if report.Engine.fresh <> [] then exit 1
-      else if report.Engine.stale <> [] then exit 2
+      else if
+        report.Engine.stale <> [] || report.Engine.duplicate_entries <> []
+      then exit 2
     end
   in
   Cmd.v
@@ -770,11 +793,13 @@ let analyze_cmd =
           engine: per-file summaries (spark-purity, atomics-discipline, \
           discarded-future, unjoined-domain) linked into a cross-module \
           graph (blocking-in-worker, marshal-safety, ring-discipline, \
-          protocol-exhaustiveness). Exits 1 on any non-baselined finding, \
-          2 when only stale baseline entries remain, 3 on usage errors")
+          protocol-exhaustiveness) and flow-sensitive CFG/typestate rules \
+          (frame-lifetime, fd-leak, lost-wakeup). Exits 1 on any \
+          non-baselined finding, 2 when only stale or duplicate baseline \
+          entries remain, 3 on usage errors")
     Term.(
       const run $ roots $ rule_ids $ cache_arg $ baseline_arg $ sarif_arg
-      $ json_flag $ list_rules_flag $ out_file)
+      $ since_arg $ json_flag $ list_rules_flag $ out_file)
 
 (* ---------------- check ---------------- *)
 

@@ -128,6 +128,26 @@ let suggest (f : Finding.t) =
     Printf.sprintf "%s %s:%d#%s -- TODO justify" f.rule f.file f.line
       f.line_hash
 
+(** Entries whose suppression key — rule, file, and line hash (line
+    number for legacy hashless entries) — repeats: the second and later
+    occurrences.  {!apply} consumes one entry per finding, so a
+    duplicate either hides a stale entry or silently double-suppresses
+    a line that regressed; either way the baseline should carry it
+    once. *)
+let duplicates (t : t) : entry list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (e : entry) ->
+      let key =
+        (e.rule, e.file, if e.hash <> "" then "#" ^ e.hash else string_of_int e.line)
+      in
+      if Hashtbl.mem seen key then true
+      else begin
+        Hashtbl.add seen key ();
+        false
+      end)
+    t
+
 let matches (e : entry) (f : Finding.t) =
   e.rule = f.rule && e.file = f.file
   &&

@@ -12,7 +12,7 @@
 
 (* Bump when Summary.t's shape, extraction, or any file-local rule's
    output changes: cached summaries bake all three in. *)
-let format_version = 2
+let format_version = 3
 
 type t = (string, Summary.t) Hashtbl.t
 

@@ -1,0 +1,592 @@
+(** Serializable per-definition control-flow graphs over the untyped
+    parsetree — the substrate of the flow-sensitive rules.
+
+    A {!t} is built once per value binding at summarise time and stored
+    inside the binding's {!Summary.def}, so it must not reference the
+    parsetree: nodes carry a small, marshal-able {!event} vocabulary
+    (binds, calls, cursor/plane touches, sleep-word arms, blocking
+    primitives, raises) and integer successor lists.  Every
+    call-carrying node gets an {e exception edge} to the innermost
+    handler (or the definition's exceptional exit): "leaked on the
+    exception path" and "committed on every path out, including
+    exceptional ones" are path questions this graph answers.
+
+    Structure handled: sequencing, [let] (including [and] chains),
+    [if]/[match] branches (with [exception] cases), [try], [while]/
+    [for] loops (back edges via a patched join node), [||]/[&&]
+    short-circuits, [@@]/[|>] application rewrites, and [Fun.protect]
+    — desugared into two copies of the [~finally] body, one on the
+    normal edge and one on the exceptional edge, which is exactly the
+    shape the fd-leak rule certifies.
+
+    Lambdas are {e not} inlined: a nested [fun] contributes only a
+    {!Mention} of its free identifiers (captures escape), and its body
+    is analysed through its own def's graph when it is bound, or not at
+    all when anonymous — which is what keeps [Shm_ring.send]'s
+    plane-writing callbacks out of the caller's frame obligations. *)
+
+open Parsetree
+open Astutil
+
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+let loc_of (l : Location.t) =
+  { line = l.loc_start.pos_lnum; col = l.loc_start.pos_cnum - l.loc_start.pos_bol }
+
+(** Where a [let]-bound value came from — what the taint and resource
+    analyses key acquisition on. *)
+type bind_src =
+  | Src_call of string list  (** RHS is an application of this ident *)
+  | Src_ident of string list  (** RHS is a bare (possibly qualified) ident *)
+  | Src_other
+
+type event =
+  | Bind of { vars : string list; src : bind_src }
+      (** pattern binding: kills prior facts about [vars], then seeds
+          new ones from [src] *)
+  | Call of { parts : string list; args : string list; tail : bool }
+      (** application; [args] holds the bare-ident arguments by
+          position ([""] for structured ones), [tail] marks result
+          position *)
+  | Mention of string list
+      (** idents escaping into structures, stores or closures *)
+  | Return of string list list  (** ident paths in result position *)
+  | Cursor_load of string  (** read of a ring cursor word / cache *)
+  | Cursor_store of string  (** publishing store to [tail_w]/[head_w] *)
+  | Plane of { field : string; write : bool }  (** frame plane access *)
+  | Guard_load of string  (** atomic-style load usable as a re-check *)
+  | Sleep_arm of string  (** arming store/incr on a sleep word *)
+  | Sleep_clear of string  (** disarming store/decr on a sleep word *)
+  | Block of string  (** primitive that blocks the OS thread *)
+  | Raise of string
+
+type node = {
+  n_loc : loc;
+  n_event : event option;  (** [None] — pure join/branch point *)
+  mutable n_succ : int list;  (** mutable only to patch loop back edges *)
+  n_exn : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_normal : int;
+  exit_exn : int;
+}
+
+(* ---------------- vocabulary tables ---------------- *)
+
+(* Kept textually in sync with Summary.ring_cursor_fields /
+   ring_data_fields (Summary depends on this module, not the reverse).
+   [sleeping_w] is deliberately absent: the doorbell word is the sleep
+   protocol's state, not a frame cursor. *)
+let frame_cursor_words =
+  SSet.of_list
+    [ "tail_w"; "head_w"; "tail_local"; "head_local"; "peer_head"; "peer_tail" ]
+
+let plane_fields = SSet.of_list [ "data_chars"; "data_words"; "data_floats" ]
+
+let sleepish label =
+  path_has "sleep" label
+
+(* Module heads whose [get]/[load] is container indexing, not an
+   atomic-style load a Dekker re-check could ride on. *)
+let non_guard_heads =
+  SSet.of_list
+    [
+      "Array"; "Bytes"; "String"; "Bigarray"; "Array1"; "Array2"; "A1"; "A2";
+      "Genarray"; "Buffer"; "Hashtbl"; "List"; "Queue"; "Stack"; "Option";
+      "Result"; "Map"; "Filename"; "Sys"; "Char"; "Seq"; "Either";
+    ]
+
+(* Close-style cleanup calls, modelled as non-raising (see
+   [build_generic_apply]). *)
+let non_raising =
+  SSet.of_list
+    [
+      "Unix.close"; "close_in"; "close_out"; "close_in_noerr";
+      "close_out_noerr"; "ignore";
+    ]
+
+(* Blocking primitives for the lost-wakeup rule: the shared table plus
+   the fd-level waits the doorbell handshake actually parks on. *)
+let wakeup_blocking =
+  SSet.union blocking_prims
+    (SSet.of_list
+       [ "Unix.read"; "Unix.recv"; "Unix.recvfrom"; "Unix.accept";
+         "Unix.wait"; "Unix.waitpid" ])
+
+(* ---------------- builder ---------------- *)
+
+type builder = { mutable cells : node list; mutable count : int }
+
+let new_node b ?(succ = []) ?(exn = []) ~loc ev =
+  let n = { n_loc = loc; n_event = ev; n_succ = succ; n_exn = exn } in
+  b.cells <- n :: b.cells;
+  b.count <- b.count + 1;
+  b.count - 1
+
+type env = { b : builder; handler : int }
+
+let pattern_var_list pat = SSet.elements (pattern_vars pat)
+
+(* Ordered positional parameter names of a syntactic function
+   ([case]-style [function] suffixes contribute one anonymous slot). *)
+let rec fun_params_list e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) ->
+      (match simple_var pat with Some x -> x | None -> "<pat>")
+      :: fun_params_list body
+  | _ -> []
+
+let children_of e =
+  let acc = ref [] in
+  descend_children (fun c -> acc := c :: !acc) e;
+  List.rev !acc
+
+(* All ident paths inside [e], stripped, deepest-first order irrelevant. *)
+let deep_idents e =
+  let acc = ref [] in
+  let rec go e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        let p = strip_stdlib (lid_parts txt) in
+        if p <> [] then acc := p :: !acc
+    | _ -> ());
+    descend_children go e
+  in
+  go e;
+  List.rev !acc
+
+let bare_names parts_list =
+  List.filter_map (function [ x ] -> Some x | _ -> None) parts_list
+  |> List.sort_uniq String.compare
+
+let rec unconstrain e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> unconstrain e
+  | _ -> e
+
+let bind_src_of rhs =
+  match (unconstrain rhs).pexp_desc with
+  | Pexp_ident { txt; _ } -> Src_ident (strip_stdlib (lid_parts txt))
+  | Pexp_apply (fn, _) -> (
+      match expr_ident fn with
+      | Some parts -> Src_call (strip_stdlib parts)
+      | None -> Src_other)
+  | _ -> Src_other
+
+let field_label_of e =
+  match (unconstrain e).pexp_desc with
+  | Pexp_field (_, lid) -> (
+      match last_part (lid_parts lid.txt) with Some l -> Some l | None -> None)
+  | _ -> None
+
+let bare_ident e =
+  match (unconstrain e).pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | _ -> None
+
+let is_const_zero e =
+  match (unconstrain e).pexp_desc with
+  | Pexp_constant (Pconst_integer ("0", _)) -> true
+  | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) -> true
+  | _ -> false
+
+let is_exception_case c =
+  match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false
+
+let case_pattern_vars c =
+  match c.pc_lhs.ppat_desc with
+  | Ppat_exception p -> pattern_var_list p
+  | _ -> pattern_var_list c.pc_lhs
+
+(* [with e ->] / [with _ ->] catches every exception, so the handler
+   has no fall-through to the enclosing one. *)
+let is_catchall_case c =
+  let rec catchall p =
+    match p.ppat_desc with
+    | Ppat_var _ | Ppat_any -> true
+    | Ppat_exception p | Ppat_alias (p, _) -> catchall p
+    | _ -> false
+  in
+  c.pc_guard = None && catchall c.pc_lhs
+
+(* Classify one application (fn already resolved to [parts], stripped)
+   into the single event its node carries. *)
+let classify_apply parts args tail =
+  let arg_exprs = List.map snd args in
+  let arg1 = match arg_exprs with a :: _ -> Some a | [] -> None in
+  let arg2 = match arg_exprs with _ :: a :: _ -> Some a | _ -> None in
+  let lbl1 = Option.bind arg1 field_label_of in
+  let qualified = List.length parts >= 2 in
+  let head = match parts with h :: _ -> h | [] -> "" in
+  let last = match last_part parts with Some l -> l | None -> "" in
+  let generic () =
+    Call
+      {
+        parts;
+        args =
+          List.map
+            (fun a -> match bare_ident a with Some x -> x | None -> "")
+            arg_exprs;
+        tail;
+      }
+  in
+  match lbl1 with
+  | Some l when sleepish l && qualified -> (
+      match last with
+      | "incr" | "fetch_and_add" -> Sleep_arm l
+      | "decr" -> Sleep_clear l
+      | "set" | "store" ->
+          if (match arg2 with Some v -> is_const_zero v | None -> false) then
+            Sleep_clear l
+          else Sleep_arm l
+      | "get" | "load" -> Guard_load (dotted parts)
+      | _ -> generic ())
+  | Some l
+    when qualified
+         && SSet.mem l frame_cursor_words
+         && (last = "store" || last = "set")
+         && (l = "tail_w" || l = "head_w") ->
+      Cursor_store l
+  | Some l
+    when qualified && SSet.mem l frame_cursor_words
+         && (last = "load" || last = "get") ->
+      Cursor_load l
+  | Some l when SSet.mem l plane_fields && qualified -> (
+      match last with
+      | "set" | "unsafe_set" | "fill" | "blit" -> Plane { field = l; write = true }
+      | "get" | "unsafe_get" -> Plane { field = l; write = false }
+      | _ -> generic ())
+  | _ ->
+      if SSet.mem (dotted parts) wakeup_blocking then Block (dotted parts)
+      else if
+        qualified
+        && (last = "get" || last = "load")
+        && not (SSet.mem head non_guard_heads)
+      then Guard_load (dotted parts)
+      else generic ()
+
+(* [build env e ~next ~tail] appends nodes for [e] and returns the
+   entry id; control continues to [next] on fall-through and to
+   [env.handler] on an escaping exception. *)
+let rec build env e ~next ~tail : int =
+  let loc = loc_of e.pexp_loc in
+  match e.pexp_desc with
+  | Pexp_constant _ -> next
+  | Pexp_ident { txt; _ } ->
+      let parts = strip_stdlib (lid_parts txt) in
+      if tail then new_node env.b ~loc ~succ:[ next ] (Some (Return [ parts ]))
+      else (
+        match parts with
+        | [ x ] -> new_node env.b ~loc ~succ:[ next ] (Some (Mention [ x ]))
+        | _ -> next)
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) ->
+      build env inner ~next ~tail
+  | Pexp_open (_, inner) | Pexp_newtype (_, inner) ->
+      build env inner ~next ~tail
+  | Pexp_letmodule (_, _, body) | Pexp_letexception (_, body) ->
+      build env body ~next ~tail
+  | Pexp_sequence (a, rest) ->
+      let rest' = build env rest ~next ~tail in
+      build env a ~next:rest' ~tail:false
+  | Pexp_let (_, vbs, body) ->
+      let body' = build env body ~next ~tail in
+      List.fold_right
+        (fun vb cont ->
+          let vars = pattern_var_list vb.pvb_pat in
+          let bloc = loc_of vb.pvb_loc in
+          let bind =
+            new_node env.b ~loc:bloc ~succ:[ cont ]
+              (Some (Bind { vars; src = bind_src_of vb.pvb_expr }))
+          in
+          if is_syntactic_fun (unconstrain vb.pvb_expr) then
+            new_node env.b ~loc:bloc ~succ:[ bind ]
+              (Some (Mention (bare_names (deep_idents vb.pvb_expr))))
+          else build env vb.pvb_expr ~next:bind ~tail:false)
+        vbs body'
+  | Pexp_ifthenelse (c, t, f) ->
+      let t' = build env t ~next ~tail in
+      let f' =
+        match f with Some f -> build env f ~next ~tail | None -> next
+      in
+      let branch = new_node env.b ~loc ~succ:[ t'; f' ] None in
+      build env c ~next:branch ~tail:false
+  | Pexp_match (scrut, cases) ->
+      let normal, exc = List.partition (fun c -> not (is_exception_case c)) cases in
+      let case_entry c =
+        let body = build env c.pc_rhs ~next ~tail in
+        let body =
+          match c.pc_guard with
+          | Some g -> build env g ~next:body ~tail:false
+          | None -> body
+        in
+        new_node env.b ~loc:(loc_of c.pc_lhs.ppat_loc) ~succ:[ body ]
+          (Some (Bind { vars = case_pattern_vars c; src = Src_other }))
+      in
+      let nentries = List.map case_entry normal in
+      let dispatch =
+        new_node env.b ~loc
+          ~succ:(if nentries = [] then [ next ] else nentries)
+          None
+      in
+      let handler' =
+        match exc with
+        | [] -> env.handler
+        | _ ->
+            let fallthrough =
+              if List.exists is_catchall_case exc then [] else [ env.handler ]
+            in
+            new_node env.b ~loc
+              ~succ:(List.map case_entry exc @ fallthrough)
+              None
+      in
+      build { env with handler = handler' } scrut ~next:dispatch ~tail:false
+  | Pexp_try (body, cases) ->
+      let case_entry c =
+        let rhs = build env c.pc_rhs ~next ~tail in
+        new_node env.b ~loc:(loc_of c.pc_lhs.ppat_loc) ~succ:[ rhs ]
+          (Some (Bind { vars = case_pattern_vars c; src = Src_other }))
+      in
+      let catch =
+        let fallthrough =
+          if List.exists is_catchall_case cases then [] else [ env.handler ]
+        in
+        new_node env.b ~loc
+          ~succ:(List.map case_entry cases @ fallthrough)
+          None
+      in
+      build { env with handler = catch } body ~next ~tail
+  | Pexp_while (c, body) ->
+      let loop_join = new_node env.b ~loc None in
+      let branch = new_node env.b ~loc ~succ:[ next ] None in
+      let body' = build env body ~next:loop_join ~tail:false in
+      let c' = build env c ~next:branch ~tail:false in
+      (* patch: cond decides body-or-exit; body loops back to cond *)
+      set_succ env.b branch [ body'; next ];
+      set_succ env.b loop_join [ c' ];
+      c'
+  | Pexp_for (pat, lo, hi, _, body) ->
+      let loop_join = new_node env.b ~loc None in
+      let branch = new_node env.b ~loc ~succ:[ next ] None in
+      let body' = build env body ~next:loop_join ~tail:false in
+      set_succ env.b branch [ body'; next ];
+      set_succ env.b loop_join [ branch ];
+      let bind =
+        new_node env.b ~loc ~succ:[ branch ]
+          (Some (Bind { vars = pattern_var_list pat; src = Src_other }))
+      in
+      let hi' = build env hi ~next:bind ~tail:false in
+      build env lo ~next:hi' ~tail:false
+  | Pexp_fun _ | Pexp_function _ ->
+      new_node env.b ~loc ~succ:[ next ]
+        (Some (Mention (bare_names (deep_idents e))))
+  | Pexp_lazy inner ->
+      new_node env.b ~loc ~succ:[ next ]
+        (Some (Mention (bare_names (deep_idents inner))))
+  | Pexp_setfield (r, _, v) ->
+      (* the value escapes into the record; cursor-cache bumps carry no
+         event of their own (the rule cares about word publishes) *)
+      let r' = build env r ~next ~tail:false in
+      build env v ~next:r' ~tail:false
+  | Pexp_field (inner, lid) -> (
+      let l = match last_part (lid_parts lid.txt) with Some l -> l | None -> "" in
+      let ev =
+        if SSet.mem l frame_cursor_words then Some (Cursor_load l)
+        else if SSet.mem l plane_fields then
+          Some (Plane { field = l; write = false })
+        else None
+      in
+      match ev with
+      | Some ev ->
+          let n = new_node env.b ~loc ~succ:[ next ] (Some ev) in
+          build env inner ~next:n ~tail:false
+      | None ->
+          if tail then
+            new_node env.b ~loc ~succ:[ next ]
+              (Some (Return (deep_idents inner)))
+          else build env inner ~next ~tail:false)
+  | Pexp_assert inner -> (
+      match inner.pexp_desc with
+      | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) ->
+          new_node env.b ~loc ~exn:[ env.handler ] (Some (Raise "assert false"))
+      | _ ->
+          let n =
+            new_node env.b ~loc ~succ:[ next ] ~exn:[ env.handler ] None
+          in
+          build env inner ~next:n ~tail:false)
+  | Pexp_apply (fn, args) -> build_apply env e fn args ~next ~tail
+  | _ ->
+      let next =
+        if tail then
+          new_node env.b ~loc ~succ:[ next ] (Some (Return (deep_idents e)))
+        else next
+      in
+      List.fold_right
+        (fun kid cont -> build env kid ~next:cont ~tail:false)
+        (children_of e) next
+
+and set_succ b id succ =
+  (* nodes are stored newest-first in [cells] *)
+  let n = List.nth b.cells (b.count - 1 - id) in
+  n.n_succ <- succ
+
+and build_apply env e fn args ~next ~tail =
+  let loc = loc_of e.pexp_loc in
+  match (expr_ident fn, args) with
+  (* operator rewrites: [f @@ x] and [x |> f] are applications *)
+  | Some [ "@@" ], [ (_, f); (_, x) ] | Some [ "|>" ], [ (_, x); (_, f) ] -> (
+      match (unconstrain f).pexp_desc with
+      | Pexp_ident _ | Pexp_apply _ ->
+          let app =
+            {
+              e with
+              pexp_desc =
+                (match (unconstrain f).pexp_desc with
+                | Pexp_apply (g, gargs) ->
+                    Pexp_apply (g, gargs @ [ (Asttypes.Nolabel, x) ])
+                | _ -> Pexp_apply (f, [ (Asttypes.Nolabel, x) ]));
+            }
+          in
+          build env app ~next ~tail
+      | _ ->
+          let n = new_node env.b ~loc ~succ:[ next ] ~exn:[ env.handler ] None in
+          build env x ~next:n ~tail:false)
+  (* short-circuit booleans are control flow *)
+  | Some ([ "||" ] | [ "&&" ]), [ (_, a); (_, b) ] ->
+      let b' = build env b ~next ~tail:false in
+      let branch = new_node env.b ~loc ~succ:[ b'; next ] None in
+      build env a ~next:branch ~tail:false
+  | Some parts, _ when strip_stdlib parts = [ "Fun"; "protect" ] -> (
+      let finally =
+        List.find_map
+          (fun (lbl, a) ->
+            match lbl with
+            | Asttypes.Labelled "finally" when is_syntactic_fun (unconstrain a) ->
+                Some (unconstrain a)
+            | _ -> None)
+          args
+      in
+      let body =
+        List.find_map
+          (fun (lbl, a) ->
+            match lbl with
+            | Asttypes.Nolabel when is_syntactic_fun (unconstrain a) ->
+                Some (unconstrain a)
+            | _ -> None)
+          args
+      in
+      match (finally, body) with
+      | Some fin, Some bodyfn ->
+          let build_bodies env bodies ~next ~tail =
+            match bodies with
+            | [ one ] -> build env one ~next ~tail
+            | many ->
+                let entries =
+                  List.map (fun b -> build env b ~next ~tail) many
+                in
+                new_node env.b ~loc ~succ:entries None
+          in
+          let fin_norm = build_bodies env (fun_bodies fin) ~next ~tail:false in
+          let fin_exn =
+            build_bodies env (fun_bodies fin) ~next:env.handler ~tail:false
+          in
+          build_bodies
+            { env with handler = fin_exn }
+            (fun_bodies bodyfn) ~next:fin_norm ~tail
+      | _ -> build_generic_apply env e (Some [ "Fun"; "protect" ]) args ~next ~tail)
+  | Some parts, _ when is_raise (strip_stdlib parts) ->
+      let n =
+        new_node env.b ~loc ~exn:[ env.handler ]
+          (Some (Raise (dotted (strip_stdlib parts))))
+      in
+      List.fold_right
+        (fun (_, a) cont ->
+          if bare_ident a = None then build env a ~next:cont ~tail:false
+          else cont)
+        args n
+  | ident, _ -> build_generic_apply env e ident args ~next ~tail
+
+and build_generic_apply env e ident args ~next ~tail =
+  let loc = loc_of e.pexp_loc in
+  let parts =
+    match ident with Some p -> strip_stdlib p | None -> []
+  in
+  let ev = classify_apply parts args tail in
+  (* Cleanup primitives are modelled as non-raising: an exception edge
+     out of [Unix.close a] would make every other live descriptor
+     "leak" along it, which is noise no caller can act on. *)
+  let exn = if SSet.mem (dotted parts) non_raising then [] else [ env.handler ] in
+  let call = new_node env.b ~loc ~succ:[ next ] ~exn (Some ev) in
+  (* When the event already encodes its target field ([Mapped_word.store
+     r.tail_w 1] -> Cursor_store), rebuilding the field argument would
+     fabricate a separate read of the same word — turning every commit
+     into acquire-then-commit and hiding double publishes. *)
+  let built_args =
+    match ev with
+    | Cursor_store _ | Cursor_load _ | Plane _ | Sleep_arm _ | Sleep_clear _
+    | Guard_load _ -> (
+        match args with
+        | (_, a) :: rest when field_label_of a <> None -> rest
+        | _ -> args)
+    | _ -> args
+  in
+  let after_args =
+    List.fold_right
+      (fun (_, a) cont ->
+        if bare_ident a = None then build env a ~next:cont ~tail:false
+        else cont)
+      built_args call
+  in
+  match ident with
+  | Some _ -> after_args
+  | None -> (
+      match e.pexp_desc with
+      | Pexp_apply (fn, _) -> build env fn ~next:after_args ~tail:false
+      | _ -> after_args)
+
+(** Build the graph of one value binding: a function's bodies with its
+    parameters pre-bound, or a plain RHS in result position. *)
+let of_binding (rhs : expression) : t =
+  let b = { cells = []; count = 0 } in
+  let exit_normal = new_node b ~loc:no_loc None in
+  let exit_exn = new_node b ~loc:no_loc None in
+  let env = { b; handler = exit_exn } in
+  let rhs = unconstrain rhs in
+  let entry =
+    if is_syntactic_fun rhs then begin
+      let entries =
+        List.map
+          (fun body -> build env body ~next:exit_normal ~tail:true)
+          (fun_bodies rhs)
+      in
+      new_node b ~loc:(loc_of rhs.pexp_loc)
+        ~succ:entries
+        (Some (Bind { vars = SSet.elements (fun_params rhs); src = Src_other }))
+    end
+    else build env rhs ~next:exit_normal ~tail:true
+  in
+  { nodes = Array.of_list (List.rev b.cells); entry; exit_normal; exit_exn }
+
+(* ---------------- small queries the analyses share ---------------- *)
+
+let has_event (g : t) pred =
+  Array.exists (fun n -> match n.n_event with Some e -> pred e | None -> false)
+    g.nodes
+
+let has_commit g =
+  has_event g (function Cursor_store _ -> true | _ -> false)
+
+let has_plane_write g =
+  has_event g (function Plane { write = true; _ } -> true | _ -> false)
+
+let has_ring_event g =
+  has_event g (function
+    | Cursor_load _ | Cursor_store _ | Plane _ -> true
+    | _ -> false)
+
+let has_sleep_event g =
+  has_event g (function Sleep_arm _ | Sleep_clear _ -> true | _ -> false)

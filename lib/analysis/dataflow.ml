@@ -1,0 +1,80 @@
+(** Generic forward worklist solver over {!Cfg.t}.
+
+    A client supplies a join-semilattice of abstract states and a
+    transfer function from events; the solver iterates to fixpoint and
+    hands back the state {e entering} every node.  Exceptional control
+    flow is first-class: the transfer function is told which kind of
+    edge ([`Normal] or [`Exn]) the fact is about to flow along, so an
+    analysis can model "the call completed" differently from "the call
+    raised mid-way" — which is precisely the distinction the fd-leak
+    and frame-lifetime rules exist to check. *)
+
+module type LATTICE = sig
+  type state
+
+  val bottom : state
+  (** identity of [join]; the "unreached" state *)
+
+  val entry : state
+  (** state on entry to the definition *)
+
+  val equal : state -> state -> bool
+  val join : state -> state -> state
+
+  val transfer : Cfg.node -> edge:[ `Normal | `Exn ] -> state -> state
+  (** abstract effect of executing the node's event, as observed on an
+      outgoing edge of the given kind *)
+end
+
+module Make (L : LATTICE) = struct
+  type result = {
+    before : L.state array;  (** state entering each node *)
+    at_exit : L.state;  (** state reaching the normal exit *)
+    at_exit_exn : L.state;  (** state reaching the exceptional exit *)
+  }
+
+  let solve ?init (g : Cfg.t) : result =
+    let n = Array.length g.nodes in
+    let before = Array.make n L.bottom in
+    before.(g.entry) <- (match init with Some s -> s | None -> L.entry);
+    let on_queue = Array.make n false in
+    (* Reachability is tracked separately from the state: lattices where
+       [entry = bottom] (the map-valued ones) would otherwise never
+       propagate past the entry node, because flowing bottom into a
+       bottom successor changes nothing. *)
+    let reached = Array.make n false in
+    let queue = Queue.create () in
+    let push i =
+      if not on_queue.(i) then begin
+        on_queue.(i) <- true;
+        Queue.push i queue
+      end
+    in
+    reached.(g.entry) <- true;
+    push g.entry;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      on_queue.(i) <- false;
+      let node = g.nodes.(i) in
+      let flow edge targets =
+        let out = L.transfer node ~edge before.(i) in
+        List.iter
+          (fun j ->
+            let first = not reached.(j) in
+            reached.(j) <- true;
+            let joined = L.join before.(j) out in
+            if first || not (L.equal joined before.(j)) then begin
+              before.(j) <- joined;
+              push j
+            end)
+          targets
+      in
+      flow `Normal node.n_succ;
+      flow `Exn node.n_exn
+    done;
+    {
+      before;
+      at_exit = before.(g.exit_normal);
+      at_exit_exn = before.(g.exit_exn);
+    }
+end

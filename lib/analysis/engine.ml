@@ -25,6 +25,8 @@ type report = {
   fresh : Finding.t list;  (** not covered by the baseline — these gate *)
   suppressed : (Finding.t * string) list;  (** finding, justification *)
   stale : Baseline.entry list;  (** baseline entries that matched nothing *)
+  duplicate_entries : Baseline.entry list;
+      (** baseline entries whose suppression key repeats an earlier one *)
   files_scanned : int;
   files_parsed : int;  (** summarised this run (cache miss or no cache) *)
   files_cached : int;  (** summary reused from the digest cache *)
@@ -128,6 +130,28 @@ let scan_file ~(rules : Rules.t list) path : Finding.t list =
   |> attach_hashes program
   |> List.sort_uniq Finding.compare
 
+(** The [.ml] files git reports as different from [ref_]: the committed
+    diff plus untracked files.  Raises [Failure] when git is absent or
+    [ref_] does not resolve — the drivers turn that into a usage
+    error. *)
+let changed_since ref_ : string list =
+  let lines_of cmd =
+    let ic = Unix.open_process_in cmd in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = go [] in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> lines
+    | _ -> failwith (Printf.sprintf "git command failed: %s" cmd)
+  in
+  lines_of (Printf.sprintf "git diff --name-only %s 2>/dev/null" (Filename.quote ref_))
+  @ lines_of "git ls-files --others --exclude-standard 2>/dev/null"
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.sort_uniq String.compare
+
 (* Directory walk: skip dotdirs and _build, collect .ml files, sorted
    for deterministic output. *)
 let collect_files roots =
@@ -147,9 +171,16 @@ let collect_files roots =
     in.  [cache] names the summary-cache file: digests are checked
     against it and it is rewritten (pruned to live files) after the
     run.  Findings are sorted and exact duplicates removed (two rules
-    walking the same subtree may agree). *)
-let run ?(baseline : Baseline.t = []) ?cache_file ~(rules : Rules.t list) roots
-    : report =
+    walking the same subtree may agree).
+
+   [since_files], when given, focuses the {e report} on those changed
+    files plus their reverse call-graph closure ({!Linker.dependents}):
+    every file is still summarised (the cache makes that cheap) and the
+    link still sees the whole program — cross-module facts need it —
+    but findings and stale-entry reports outside the focus set are
+    dropped.  This is what [--since REF] rides on. *)
+let run ?(baseline : Baseline.t = []) ?cache_file ?since_files
+    ~(rules : Rules.t list) roots : report =
   let files = collect_files roots in
   let cache =
     match cache_file with
@@ -177,10 +208,21 @@ let run ?(baseline : Baseline.t = []) ?cache_file ~(rules : Rules.t list) roots
   in
   let t1 = Unix.gettimeofday () in
   let program = Linker.link summaries in
+  let in_focus =
+    match since_files with
+    | None -> fun _ -> true
+    | Some changed ->
+        let focus =
+          Linker.dependents program
+            ~changed:(List.map Finding.normalize_path changed)
+        in
+        fun file -> List.mem file focus
+  in
   let findings =
     List.concat_map (local_findings_of ~selected:rules) summaries
     @ run_linked ~selected:rules program
     |> attach_hashes program
+    |> List.filter (fun (f : Finding.t) -> in_focus f.Finding.file)
     |> List.sort_uniq Finding.compare
   in
   let t2 = Unix.gettimeofday () in
@@ -188,6 +230,9 @@ let run ?(baseline : Baseline.t = []) ?cache_file ~(rules : Rules.t list) roots
   | Some p -> Cache.save p cache ~live:!live
   | None -> ());
   let fresh, suppressed, stale = Baseline.apply baseline findings in
+  let stale =
+    List.filter (fun (e : Baseline.entry) -> in_focus e.Baseline.file) stale
+  in
   let per_rule =
     List.map
       (fun (r : Rules.t) ->
@@ -205,6 +250,7 @@ let run ?(baseline : Baseline.t = []) ?cache_file ~(rules : Rules.t list) roots
     fresh;
     suppressed;
     stale;
+    duplicate_entries = Baseline.duplicates baseline;
     files_scanned = List.length files;
     files_parsed = !parsed;
     files_cached = !cached;
@@ -233,6 +279,14 @@ let text_report ?(verbose = true) (r : report) : string =
            "stale baseline entry (matched no finding): %s %s:%d -- %s\n" e.rule
            e.file e.line e.justification))
     r.stale;
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "duplicate baseline entry (line %d repeats an earlier key): %s \
+            %s:%d -- %s\n"
+           e.source_line e.rule e.file e.line e.justification))
+    r.duplicate_entries;
   Buffer.add_string buf
     (Printf.sprintf
        "%d file(s) scanned (%d parsed, %d from cache; summarise %.1f ms, link \
@@ -243,6 +297,11 @@ let text_report ?(verbose = true) (r : report) : string =
        (List.length r.suppressed)
        (List.length r.stale)
        (if List.length r.stale = 1 then "y" else "ies"));
+  if r.duplicate_entries <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "%d duplicate baseline entr%s\n"
+         (List.length r.duplicate_entries)
+         (if List.length r.duplicate_entries = 1 then "y" else "ies"));
   Buffer.contents buf
 
 (** Machine-readable report; rule ids are stable, findings sorted, so
@@ -284,6 +343,18 @@ let json_report ~(rules : Rules.t list) (r : report) : J.t =
                    ("hash", J.Str e.hash);
                  ])
              r.stale) );
+      ( "duplicate_baseline",
+        J.List
+          (List.map
+             (fun (e : Baseline.entry) ->
+               J.Obj
+                 [
+                   ("rule", J.Str e.rule);
+                   ("file", J.Str e.file);
+                   ("line", J.Int e.line);
+                   ("source_line", J.Int e.source_line);
+                 ])
+             r.duplicate_entries) );
     ]
 
 let sarif_report ~(rules : Rules.t list) (r : report) : J.t =

@@ -16,11 +16,11 @@ type program = {
   files : Summary.t list;  (** sorted by [s_file] *)
   by_module : (string, Summary.t list) Hashtbl.t;
   by_file : (string, Summary.t) Hashtbl.t;
-  fd_taint : (string * string, string) Hashtbl.t;
-      (** (file, def-name) -> witness chain, for defs that {e hold} a
-          marshal-unsafe resource (the resource name is embedded in the
-          witness).  Function defs that merely construct a resource
-          when called are keyed separately in {!fn_taint}. *)
+  fd_taint : (string * string, string * string) Hashtbl.t;
+      (** (file, def-name) -> (resource name, witness chain), for defs
+          that {e hold} a marshal-unsafe resource.  Function defs that
+          merely construct a resource when called are keyed separately
+          in {!fn_taint}. *)
   fn_taint : (string * string, string * string) Hashtbl.t;
       (** (file, fn-name) -> (resource name, witness): calling this
           function returns/creates the resource *)
@@ -68,47 +68,152 @@ let resolve program ~(from : Summary.t) parts : resolved list =
 
 (* ---------------- resource taint fixpoint ---------------- *)
 
-(* Two lattices, computed together to a fixpoint:
-   - fn_taint: a *function* def whose body constructs a resource, or
-     calls a fn-tainted function — calling it yields a live resource.
+module SMap = Map.Make (String)
+
+(* Two tables, computed together to a fixpoint:
+   - fn_taint: a *function* def whose body constructs a resource and
+     lets it reach the result — calling it yields a live resource.
    - fd_taint: a *value* def that holds a resource right now: its RHS
      constructs one, calls an fn-tainted function, or references an
      fd-tainted value.  Only these make marshalling the capture wrong;
-     capturing a maker function is harmless until it is called. *)
+     capturing a maker function is harmless until it is called.
+
+   Since PR 8 the intra-def propagation is {e flow-sensitive} over the
+   def's {!Cfg}: taint lives per program point keyed by local variable,
+   a rebinding kills the old fact, and only taint reaching the def's
+   result slot escapes into the tables.  [let fd = openfile ... in
+   Unix.close fd; compute ()] taints nothing; the old summary-level
+   fixpoint poisoned the whole function. *)
+
+let ret_slot = "<ret>"
+
+(* What calling [parts] yields, under the current tables: a direct
+   resource construction, or a call/reference to an fn-tainted def.
+   [dname] prefixes propagated witnesses (the chain reads caller ->
+   callee -> constructor). *)
+let call_taint program ~(from : Summary.t) ~dname parts =
+  match Summary.resource_of_parts parts with
+  | Some r ->
+      Some
+        ( Summary.resource_name r,
+          Printf.sprintf "%s (via %s in %s)" (Summary.resource_name r)
+            (Astutil.dotted parts) from.Summary.s_file )
+  | None ->
+      List.find_map
+        (fun { target_file; target } ->
+          match
+            Hashtbl.find_opt program.fn_taint (target_file, target.Summary.d_name)
+          with
+          | Some (res, w) -> Some (res, Printf.sprintf "%s -> %s" dname w)
+          | None -> None)
+        (resolve program ~from parts)
+
+(* What referencing [parts] as a value yields: a local tainted at this
+   program point, an fd-tainted value def, or (conservatively, matching
+   the summary-level engine) an aliased maker function. *)
+let ident_taint program ~(from : Summary.t) ~dname ~state parts =
+  match parts with
+  | [ x ] when SMap.mem x state -> Some (SMap.find x state)
+  | _ -> (
+      match Summary.resource_of_parts parts with
+      | Some r ->
+          Some
+            ( Summary.resource_name r,
+              Printf.sprintf "%s (via %s in %s)" (Summary.resource_name r)
+                (Astutil.dotted parts) from.Summary.s_file )
+      | None ->
+          List.find_map
+            (fun { target_file; target } ->
+              (* Only module-level value defs taint by name here: a
+                 bare local is governed by the flow state above, and
+                 falling back to a same-named nested def would
+                 resurrect taint a rebinding just killed. *)
+              if not target.Summary.d_top then None
+              else
+              let key = (target_file, target.Summary.d_name) in
+              match Hashtbl.find_opt program.fd_taint key with
+              | Some (res, w) ->
+                  Some (res, Printf.sprintf "%s -> %s" dname w)
+              | None -> (
+                  match Hashtbl.find_opt program.fn_taint key with
+                  | Some (res, w) ->
+                      Some (res, Printf.sprintf "%s -> %s" dname w)
+                  | None -> None))
+            (resolve program ~from parts))
+
+(* The flow-sensitive intra-def solver needs the program tables in its
+   transfer function; the functor interface is context-free, so the
+   context rides in a ref set around each [solve] call. *)
+type taint_ctx = { tc_program : program; tc_from : Summary.t; tc_dname : string }
+
+let taint_context : taint_ctx option ref = ref None
+
+module Taint_lattice = struct
+  type state = (string * string) SMap.t
+
+  let bottom = SMap.empty
+  let entry = SMap.empty
+
+  let equal =
+    SMap.equal (fun (r1, w1) (r2, w2) -> String.equal r1 r2 && String.equal w1 w2)
+
+  (* may-hold union; the first witness found wins, like the tables *)
+  let join a b = SMap.union (fun _ x _ -> Some x) a b
+
+  let transfer (node : Cfg.node) ~edge:_ state =
+    let ctx =
+      match !taint_context with Some c -> c | None -> assert false
+    in
+    let program = ctx.tc_program and from = ctx.tc_from and dname = ctx.tc_dname in
+    match node.Cfg.n_event with
+    | Some (Cfg.Bind { vars; src }) -> (
+        let state = List.fold_left (fun st v -> SMap.remove v st) state vars in
+        let taint =
+          match src with
+          | Cfg.Src_call parts -> call_taint program ~from ~dname parts
+          | Cfg.Src_ident parts -> ident_taint program ~from ~dname ~state parts
+          | Cfg.Src_other -> None
+        in
+        match taint with
+        | Some t -> List.fold_left (fun st v -> SMap.add v t st) state vars
+        | None -> state)
+    | Some (Cfg.Call { parts; tail = true; _ }) -> (
+        match call_taint program ~from ~dname parts with
+        | Some t -> SMap.add ret_slot t state
+        | None -> state)
+    | Some (Cfg.Return paths) -> (
+        let hit =
+          List.find_map
+            (fun parts -> ident_taint program ~from ~dname ~state parts)
+            paths
+        in
+        match hit with Some t -> SMap.add ret_slot t state | None -> state)
+    | _ -> state
+end
+
+module Taint_solver = Dataflow.Make (Taint_lattice)
+
+(* The (resource, witness) the def's result holds, if any. *)
+let def_result_taint program (s : Summary.t) (d : Summary.def) =
+  match d.Summary.d_cfg with
+  | Some g ->
+      taint_context :=
+        Some { tc_program = program; tc_from = s; tc_dname = d.Summary.d_name };
+      let r = Taint_solver.solve g in
+      taint_context := None;
+      SMap.find_opt ret_slot r.Taint_solver.at_exit
+  | None -> (
+      (* no CFG (parse fallback): seed from the summary-level facts *)
+      match d.Summary.d_resources with
+      | (r, spelled, _) :: _ ->
+          Some
+            ( Summary.resource_name r,
+              Printf.sprintf "%s (via %s in %s)" (Summary.resource_name r)
+                spelled s.Summary.s_file )
+      | [] -> None)
+
 let compute_taint program =
   let changed = ref true in
-  let add_fn file def resource witness =
-    let key = (file, def.Summary.d_name) in
-    if not (Hashtbl.mem program.fn_taint key) then begin
-      Hashtbl.replace program.fn_taint key (resource, witness);
-      changed := true
-    end
-  in
-  let add_val file def witness =
-    let key = (file, def.Summary.d_name) in
-    if not (Hashtbl.mem program.fd_taint key) then begin
-      Hashtbl.replace program.fd_taint key witness;
-      changed := true
-    end
-  in
-  (* seed: direct constructors *)
-  List.iter
-    (fun s ->
-      let file = s.Summary.s_file in
-      List.iter
-        (fun d ->
-          match d.Summary.d_resources with
-          | (r, spelled, _) :: _ ->
-              let w =
-                Printf.sprintf "%s (via %s in %s)" (Summary.resource_name r)
-                  spelled file
-              in
-              if d.Summary.d_is_fun then add_fn file d (Summary.resource_name r) w
-              else add_val file d w
-          | [] -> ())
-        (defs_of s))
-    program.files;
-  (* propagate through calls/references *)
   while !changed do
     changed := false;
     List.iter
@@ -116,39 +221,16 @@ let compute_taint program =
         let file = s.Summary.s_file in
         List.iter
           (fun d ->
-            if
-              not
-                (Hashtbl.mem program.fd_taint (file, d.Summary.d_name)
-                && Hashtbl.mem program.fn_taint (file, d.Summary.d_name))
-            then
-              List.iter
-                (fun (parts, _) ->
-                  List.iter
-                    (fun { target_file; target } ->
-                      (* referencing / calling an fn-tainted function *)
-                      (match
-                         Hashtbl.find_opt program.fn_taint
-                           (target_file, target.Summary.d_name)
-                       with
-                      | Some (res, w) ->
-                          let w' =
-                            Printf.sprintf "%s -> %s" d.Summary.d_name w
-                          in
-                          if d.Summary.d_is_fun then add_fn file d res w'
-                          else add_val file d w'
-                      | None -> ());
-                      (* referencing an fd-tainted value *)
-                      if not d.Summary.d_is_fun then
-                        match
-                          Hashtbl.find_opt program.fd_taint
-                            (target_file, target.Summary.d_name)
-                        with
-                        | Some w ->
-                            add_val file d
-                              (Printf.sprintf "%s -> %s" d.Summary.d_name w)
-                        | None -> ())
-                    (resolve program ~from:s parts))
-                d.Summary.d_calls)
+            let key = (file, d.Summary.d_name) in
+            let table =
+              if d.Summary.d_is_fun then program.fn_taint else program.fd_taint
+            in
+            if not (Hashtbl.mem table key) then
+              match def_result_taint program s d with
+              | Some t ->
+                  Hashtbl.replace table key t;
+                  changed := true
+              | None -> ())
           (defs_of s))
       program.files
   done
@@ -180,7 +262,9 @@ let capture_taint program ~(from : Summary.t) parts =
   List.find_map
     (fun { target_file; target } ->
       if target.Summary.d_is_fun then None
-      else Hashtbl.find_opt program.fd_taint (target_file, target.Summary.d_name))
+      else
+        Option.map snd
+          (Hashtbl.find_opt program.fd_taint (target_file, target.Summary.d_name)))
     (resolve program ~from parts)
 
 (** Does a capture's target resolve to a top-level (module-state) def?
@@ -205,14 +289,18 @@ type blocking_witness = {
     and [Domain.spawn] lambdas) in [roots_from] files, over resolved
     calls through the whole program; [skip_file] drops edges into
     exempt files (lib/check drives workers deterministically and may
-    block by design).  Returns every blocking primitive reachable,
-    located at the primitive itself. *)
-let blocking_from_workers program ~roots_from ~skip_file : blocking_witness list =
+    block by design), and [sanctioned] cuts the walk at defs marked as
+    sanctioned blocking points (fiber-style primitives that park the
+    task, not the domain — see {!Rules.sanctioned_blocking}).  Returns
+    every blocking primitive reachable, located at the primitive
+    itself. *)
+let blocking_from_workers program ~roots_from ~skip_file ~sanctioned :
+    blocking_witness list =
   let out = ref [] in
   let visited = Hashtbl.create 64 in
   let rec visit ~root ~chain (file : string) (d : Summary.def) =
     let key = (file, d.Summary.d_name, d.Summary.d_loc) in
-    if not (Hashtbl.mem visited key) then begin
+    if (not (Hashtbl.mem visited key)) && not (sanctioned file d) then begin
       Hashtbl.replace visited key ();
       let chain = chain @ [ d.Summary.d_name ] in
       List.iter
@@ -253,3 +341,41 @@ let blocking_from_workers program ~roots_from ~skip_file : blocking_witness list
       let c = String.compare a.b_file b.b_file in
       if c <> 0 then c else compare a.b_loc b.b_loc)
     !out
+
+(* ---------------- incremental focus ---------------- *)
+
+(** The reverse call-graph closure of [changed]: every file whose
+    linked findings can differ because one of [changed] differs — the
+    changed files themselves plus all transitive callers of any def
+    they contain.  This is the focus set of [--since REF]: linked rules
+    still run over the whole program (resolution needs every summary),
+    but only findings in these files are reported. *)
+let dependents program ~changed =
+  let norm = List.map Finding.normalize_path changed in
+  let rev : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Summary.t) ->
+      List.iter
+        (fun (d : Summary.def) ->
+          List.iter
+            (fun (parts, _) ->
+              List.iter
+                (fun { target_file; _ } ->
+                  if target_file <> s.Summary.s_file then
+                    let prev =
+                      Option.value ~default:[] (Hashtbl.find_opt rev target_file)
+                    in
+                    Hashtbl.replace rev target_file (s.Summary.s_file :: prev))
+                (resolve program ~from:s parts))
+            d.Summary.d_calls)
+        (defs_of s @ s.Summary.s_spawn_bodies))
+    program.files;
+  let seen = Hashtbl.create 64 in
+  let rec visit f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      List.iter visit (Option.value ~default:[] (Hashtbl.find_opt rev f))
+    end
+  in
+  List.iter visit norm;
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])

@@ -390,6 +390,23 @@ let atomics_discipline =
 
 let blocking_exempt p = path_has "lib/check/" p
 
+(* Sanctioned blocking points: defs the worker-reachability walk stops
+   at, because they park the *task*, not the domain.  Two ways in, per
+   the ROADMAP fiber item:
+   - mark the binding [let await p [@sanctioned_blocking] = ...] — the
+     attribute is summarised into [d_sanctioned];
+   - list the def name here, for primitives the analyzer cannot be
+     taught in-source (vendored code, generated bindings).
+   Either way the def's own blocking facts are not reported and the
+   walk does not descend into its callees: a fiber-blocking primitive
+   is a scheduling point, so nothing "behind" it runs on a wedged
+   domain. *)
+let sanctioned_blocking_names =
+  SSet.of_list [ "fiber_await"; "fiber_yield"; "fiber_suspend" ]
+
+let sanctioned_blocking _file (d : Summary.def) =
+  d.Summary.d_sanctioned || SSet.mem d.Summary.d_name sanctioned_blocking_names
+
 let blocking_in_worker =
   let id = "blocking-in-worker" in
   let severity = Finding.Warning in
@@ -400,7 +417,7 @@ let blocking_in_worker =
   in
   let check (program : Linker.program) =
     Linker.blocking_from_workers program ~roots_from:program.Linker.files
-      ~skip_file:blocking_exempt
+      ~skip_file:blocking_exempt ~sanctioned:sanctioned_blocking
     |> List.map (fun (w : Linker.blocking_witness) ->
            mkl ~rule:id ~severity ~hint ~file:w.Linker.b_file w.Linker.b_loc
              (Printf.sprintf
@@ -748,6 +765,89 @@ let protocol_exhaustiveness =
     kind = Linked check;
   }
 
+(* ======== rules 9-11: flow-sensitive typestate (linked) ======== *)
+
+(* All three run over the per-def CFGs built at summarise time
+   (Summary.d_cfg), solved by the Dataflow worklist engine with
+   interprocedural effect summaries — see Typestate for the lattices.
+   They are Linked rules because the effects flow through the resolved
+   cross-module call graph: a helper that publishes the cursor, closes
+   the fd, or arms the sleep word transfers that fact into every
+   caller's CFG. *)
+
+let typestate_findings ~rule ~severity ~hint vs =
+  List.map
+    (fun (v : Typestate.violation) ->
+      mkl ~rule ~severity ~hint ~file:v.Typestate.v_file v.Typestate.v_loc
+        v.Typestate.v_msg)
+    vs
+
+let frame_lifetime =
+  let id = "frame-lifetime" in
+  let severity = Finding.Error in
+  let hint =
+    "follow acquire -> write -> commit: load the cursor, fill the planes, \
+     publish exactly once, and never touch the frame after the publish"
+  in
+  {
+    id;
+    severity;
+    doc =
+      "ring frames follow acquire -> write -> commit: no plane access or \
+       second publish after the cursor store, and every written frame is \
+       committed on every path out";
+    hint;
+    (* lib/check instantiates the ring protocols over traced cells and
+       deliberately explores violating interleavings *)
+    exempt = (fun p -> path_has "lib/check/" p);
+    kind = Linked (fun program ->
+        typestate_findings ~rule:id ~severity ~hint
+          (Typestate.frame_violations program));
+  }
+
+let fd_leak =
+  let id = "fd-leak" in
+  let severity = Finding.Warning in
+  let hint =
+    "close the descriptor on every path: wrap the body in Fun.protect \
+     ~finally:(fun () -> Unix.close fd), or hand ownership to a helper that \
+     does"
+  in
+  {
+    id;
+    severity;
+    doc =
+      "file descriptors and channels opened in a function must reach close \
+       on every path out, including the exception path";
+    hint;
+    exempt = (fun p -> path_has "lib/check/" p);
+    kind = Linked (fun program ->
+        typestate_findings ~rule:id ~severity ~hint
+          (Typestate.fd_violations program));
+  }
+
+let lost_wakeup =
+  let id = "lost-wakeup" in
+  let severity = Finding.Error in
+  let hint =
+    "re-read the guard (atomic load / shared cursor word) after arming the \
+     sleep word and before blocking — the Dekker re-check — or clear the \
+     sleep word first"
+  in
+  {
+    id;
+    severity;
+    doc =
+      "no OS-level block is reachable after arming a sleep word without \
+       re-reading the guard in between: blocking while armed loses wakeups";
+    hint;
+    (* lib/check deliberately drives lost-wakeup mutants through DPOR *)
+    exempt = (fun p -> path_has "lib/check/" p);
+    kind = Linked (fun program ->
+        typestate_findings ~rule:id ~severity ~hint
+          (Typestate.wakeup_violations program));
+  }
+
 (* ---------------- registry ---------------- *)
 
 let all =
@@ -760,6 +860,9 @@ let all =
     marshal_safety;
     ring_discipline;
     protocol_exhaustiveness;
+    frame_lifetime;
+    fd_leak;
+    lost_wakeup;
   ]
 
 let ids = List.map (fun r -> r.id) all

@@ -70,11 +70,17 @@ type def = {
   d_loc : loc;
   d_top : bool;
   d_is_fun : bool;
+  d_params : string list;
+      (** positional parameter names, in order (functions only) *)
+  d_sanctioned : bool;
+      (** carries [[@sanctioned_blocking]] — fiber-style primitive *)
   d_calls : (string list * loc) list;
       (** every identifier the RHS references, [Stdlib]-stripped *)
   d_blocking : (string * loc) list;  (** blocking primitives, by name *)
   d_resources : (resource * string * loc) list;
       (** direct resource construction: kind, constructor spelling *)
+  d_cfg : Cfg.t option;
+      (** control-flow graph of the RHS, for the flow-sensitive rules *)
 }
 
 (** A free identifier of a marshal-boundary closure. *)
@@ -479,6 +485,12 @@ let of_ast ~file ~source ~digest ~(local_findings : (string * Finding.t list) li
       match simple_var vb.pvb_pat with
       | Some name ->
           let calls, blocking, resources = facts_of_expr vb.pvb_expr in
+          let sanctioned =
+            List.exists
+              (fun a ->
+                a.attr_name.Location.txt = "sanctioned_blocking")
+              vb.pvb_attributes
+          in
           defs :=
             {
               d_name = name;
@@ -486,9 +498,12 @@ let of_ast ~file ~source ~digest ~(local_findings : (string * Finding.t list) li
               d_top =
                 Hashtbl.mem top_names (name, vb.pvb_loc.Location.loc_start.pos_lnum);
               d_is_fun = is_syntactic_fun vb.pvb_expr;
+              d_params = Cfg.fun_params_list vb.pvb_expr;
+              d_sanctioned = sanctioned;
               d_calls = calls;
               d_blocking = blocking;
               d_resources = resources;
+              d_cfg = Some (Cfg.of_binding vb.pvb_expr);
             }
             :: !defs
       | None -> ());
@@ -509,9 +524,12 @@ let of_ast ~file ~source ~digest ~(local_findings : (string * Finding.t list) li
                         d_loc = loc_of a.pexp_loc;
                         d_top = false;
                         d_is_fun = true;
+                        d_params = Cfg.fun_params_list a;
+                        d_sanctioned = false;
                         d_calls = calls;
                         d_blocking = blocking;
                         d_resources = resources;
+                        d_cfg = Some (Cfg.of_binding a);
                       }
                       :: !spawn_bodies
                   end)

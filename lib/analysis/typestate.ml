@@ -1,0 +1,626 @@
+(** Flow-sensitive typestate analyses over the per-def {!Cfg}s, linked
+    through the cross-module call graph.
+
+    Three clients of {!Dataflow}, each in two passes:
+
+    + an {e effect} fixpoint: every function def gets a small summary
+      transfer function (what ring state it exits in, whether it closes
+      its fd parameters, how it maps the sleep-word state), computed
+      optimistically — bottom contributes nothing, so recursive defs
+      ([next_header]'s retry loop) converge instead of poisoning their
+      callers;
+    + a {e reporting} pass: each def is solved once more against the
+      final effect tables and violations are read off the node
+      in-states.
+
+    Because effects are keyed by (file, def) and applied at {!Cfg.Call}
+    nodes through {!Linker.resolve}, a fact two modules away — a helper
+    that publishes the cursor, a cleanup function that closes the fd,
+    [prepare_sleep] arming the doorbell — transfers into the caller's
+    CFG exactly like a local statement.  That is the property the
+    fixtures seed mutants against. *)
+
+open Astutil
+
+module SMap = Map.Make (String)
+
+type violation = { v_file : string; v_loc : Summary.loc; v_msg : string }
+
+let sloc (l : Cfg.loc) = { Summary.l_line = l.Cfg.line; Summary.l_col = l.Cfg.col }
+
+(* (summary, def, cfg) triples, defs and Domain.spawn lambdas alike *)
+let cfg_defs (program : Linker.program) =
+  List.concat_map
+    (fun (s : Summary.t) ->
+      List.filter_map
+        (fun (d : Summary.def) ->
+          match d.Summary.d_cfg with Some g -> Some (s, d, g) | None -> None)
+        (s.Summary.s_defs @ s.Summary.s_spawn_bodies))
+    program.Linker.files
+
+(* Effect tables are keyed by (file, def name, def line): nested defs
+   routinely share a name ([loop], [go]) inside one file, and a
+   name-only key would make two defs fight over one slot — the effect
+   fixpoints would never converge. *)
+let def_key file (d : Summary.def) =
+  (file, d.Summary.d_name, d.Summary.d_loc.Summary.l_line)
+
+let resolve_effect program (table : (string * string * int, 'a) Hashtbl.t)
+    ~(from : Summary.t) parts : 'a option =
+  List.find_map
+    (fun (r : Linker.resolved) ->
+      Hashtbl.find_opt table (def_key r.Linker.target_file r.Linker.target))
+    (Linker.resolve program ~from parts)
+
+let dedup_violations vs =
+  List.sort_uniq compare vs
+
+(* ==================== frame lifetime ==================== *)
+
+(* Abstract frame states, as a may-set bitmask per program point.  The
+   protocol: a cursor load {e acquires} a frame view (Open), plane
+   writes fill it (Written), the cursor publish {e commits} it
+   (Committed) — after which the peer owns the bytes, so further plane
+   access or a second publish on the same acquisition is a violation,
+   and a path that exits Written never published at all. *)
+
+let st_start = 1
+let st_open = 2
+let st_written = 4
+let st_committed = 8
+
+type frame_effect = {
+  f_ring : bool;  (** touches frame state, directly or transitively *)
+  f_exits : int;  (** exit state bits, from a Start entry *)
+  f_commits : bool;  (** may publish a cursor *)
+  f_acquires : bool;  (** every path's first frame action is a load *)
+}
+
+(* Per-bit transition, unioned: the may-set transfer.  [emit] is a
+   no-op while solving; the reporting pass passes a real sink. *)
+let frame_apply lookup ~edge ~emit (ev : Cfg.event) state =
+  if state = 0 then 0
+  else
+    match ev with
+    | Cfg.Cursor_load _ -> st_open
+    | Cfg.Plane { write = true; _ } ->
+        if state land st_committed <> 0 then
+          emit
+            "frame plane written after the cursor publish: the consumer may \
+             already own these bytes";
+        (if state land st_committed <> 0 then st_committed else 0)
+        lor
+        if state land (st_start lor st_open lor st_written) <> 0 then st_written
+        else 0
+    | Cfg.Plane { write = false; _ } ->
+        if state land st_committed <> 0 then
+          emit
+            "frame plane read after the cursor publish: the producer may \
+             already be overwriting these bytes";
+        state
+    | Cfg.Cursor_store _ ->
+        if state land st_committed <> 0 then
+          emit "cursor published twice for the same frame acquisition";
+        st_committed
+    | Cfg.Call { parts; _ } when edge = `Normal -> (
+        match lookup parts with
+        | Some e when e.f_ring ->
+            if e.f_commits && state land st_committed <> 0 && not e.f_acquires
+            then
+              emit
+                "callee publishes the ring cursor again without re-acquiring: \
+                 double commit across the call";
+            if e.f_exits = 0 then state else e.f_exits
+        | _ -> state)
+    | _ -> state
+
+let frame_lookup :
+    (string list -> frame_effect option) ref =
+  ref (fun _ -> None)
+
+module Frame_lattice = struct
+  type state = int
+
+  let bottom = 0
+  let entry = st_start
+  let equal = Int.equal
+  let join = ( lor )
+
+  let transfer (node : Cfg.node) ~edge state =
+    match node.Cfg.n_event with
+    | Some ev -> frame_apply !frame_lookup ~edge ~emit:(fun _ -> ()) ev state
+    | None -> state
+end
+
+module Frame_solver = Dataflow.Make (Frame_lattice)
+
+(* Is every path's first frame action a cursor load?  Callers use this
+   to decide whether a callee's commit rides on a fresh acquisition
+   (write_frame reads [tail_local] before touching planes) or re-uses
+   the caller's ([publish] just stores). *)
+let frame_acquires_first lookup (g : Cfg.t) =
+  let seen = Array.make (Array.length g.nodes) false in
+  let ok = ref true in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      let node = g.nodes.(i) in
+      let stop =
+        match node.Cfg.n_event with
+        | Some (Cfg.Cursor_load _) -> true
+        | Some (Cfg.Plane _ | Cfg.Cursor_store _) ->
+            ok := false;
+            true
+        | Some (Cfg.Call { parts; _ }) -> (
+            match lookup parts with
+            | Some e when e.f_ring ->
+                if not e.f_acquires then ok := false;
+                true
+            | _ -> false)
+        | _ -> false
+      in
+      if not stop then begin
+        List.iter go node.Cfg.n_succ;
+        List.iter go node.Cfg.n_exn
+      end
+    end
+  in
+  go g.entry;
+  !ok
+
+let frame_effects program : (string * string * int, frame_effect) Hashtbl.t =
+  let table = Hashtbl.create 64 in
+  let defs = cfg_defs program in
+  let changed = ref true in
+  (* replace-semantics effects are not strictly monotone; cap the
+     rounds so a pathological cycle degrades to approximate effects
+     instead of hanging the lint *)
+  let rounds = ref 0 in
+  while !changed && !rounds < 16 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun ((s : Summary.t), (d : Summary.def), (g : Cfg.t)) ->
+        let lookup = resolve_effect program table ~from:s in
+        frame_lookup := lookup;
+        let r = Frame_solver.solve g in
+        let own_ring = Cfg.has_ring_event g in
+        let call_effects =
+          Array.to_list g.Cfg.nodes
+          |> List.filter_map (fun (n : Cfg.node) ->
+                 match n.Cfg.n_event with
+                 | Some (Cfg.Call { parts; _ }) -> lookup parts
+                 | _ -> None)
+        in
+        let e =
+          {
+            f_ring = own_ring || List.exists (fun e -> e.f_ring) call_effects;
+            f_exits = r.Frame_solver.at_exit;
+            f_commits =
+              Cfg.has_commit g || List.exists (fun e -> e.f_commits) call_effects;
+            f_acquires = frame_acquires_first lookup g;
+          }
+        in
+        let key = def_key s.Summary.s_file d in
+        if Hashtbl.find_opt table key <> Some e then begin
+          Hashtbl.replace table key e;
+          changed := true
+        end)
+      defs
+  done;
+  table
+
+let frame_violations program : violation list =
+  let table = frame_effects program in
+  let out = ref [] in
+  List.iter
+    (fun ((s : Summary.t), (d : Summary.def), (g : Cfg.t)) ->
+      let lookup = resolve_effect program table ~from:s in
+      let relevant =
+        Cfg.has_ring_event g
+        || Array.exists
+             (fun (n : Cfg.node) ->
+               match n.Cfg.n_event with
+               | Some (Cfg.Call { parts; _ }) -> (
+                   match lookup parts with Some e -> e.f_ring | None -> false)
+               | _ -> false)
+             g.Cfg.nodes
+      in
+      if relevant then begin
+        frame_lookup := lookup;
+        let r = Frame_solver.solve g in
+        let add loc msg =
+          out := { v_file = s.Summary.s_file; v_loc = sloc loc; v_msg = msg } :: !out
+        in
+        Array.iteri
+          (fun i (n : Cfg.node) ->
+            let st = r.Frame_solver.before.(i) in
+            if st <> 0 then
+              match n.Cfg.n_event with
+              | Some (Cfg.Raise _)
+                when st land st_written <> 0
+                     && Cfg.has_commit g && Cfg.has_plane_write g ->
+                  add n.Cfg.n_loc
+                    "raise escapes with the frame written but the cursor never \
+                     published: the bytes are silently dropped"
+              | Some ev ->
+                  ignore
+                    (frame_apply lookup ~edge:`Normal
+                       ~emit:(fun msg -> add n.Cfg.n_loc msg)
+                       ev st)
+              | None -> ())
+          g.Cfg.nodes;
+        (* every path out of a producer must publish: acquire -> write
+           -> commit, with no Written exit *)
+        if
+          Cfg.has_commit g && Cfg.has_plane_write g
+          && r.Frame_solver.at_exit land st_written <> 0
+        then
+          add
+            { Cfg.line = d.Summary.d_loc.Summary.l_line;
+              Cfg.col = d.Summary.d_loc.Summary.l_col }
+            (Printf.sprintf
+               "%s can return with the frame written but the cursor never \
+                published: commit exactly once on every path" d.Summary.d_name)
+      end)
+    (cfg_defs program);
+  dedup_violations !out
+
+(* ==================== fd leaks ==================== *)
+
+(* May-leak analysis: a binding whose RHS is a direct fd/channel maker
+   is tracked until it is closed, escapes (stored, returned, captured,
+   handed to an unknown callee), or is released by a {e resolved}
+   callee whose own CFG closes/escapes that parameter.  Whatever is
+   still tracked at an exit leaks there — and the exceptional exit is
+   the interesting one: [openfile; ftruncate; close] leaks exactly when
+   [ftruncate] raises, which is what [Fun.protect]'s duplicated
+   [~finally] edge in the CFG certifies against. *)
+
+let fd_makers =
+  SSet.of_list
+    [
+      "Unix.openfile"; "Unix.socket"; "Unix.accept"; "Unix.pipe";
+      "Unix.socketpair"; "Unix.dup"; "open_in"; "open_in_bin"; "open_out";
+      "open_out_bin";
+    ]
+
+let fd_closers =
+  SSet.of_list
+    [ "Unix.close"; "close_in"; "close_out"; "close_in_noerr"; "close_out_noerr" ]
+
+(* Calls that use an fd/channel without taking ownership.  Everything
+   not listed here (and not resolved in-program) is assumed to take
+   ownership — the quiet default. *)
+let fd_transparent =
+  SSet.of_list
+    [
+      "Unix.read"; "Unix.write"; "Unix.single_write"; "Unix.write_substring";
+      "Unix.select"; "Unix.fstat"; "Unix.lseek"; "Unix.ftruncate";
+      "Unix.set_nonblock"; "Unix.clear_nonblock"; "Unix.setsockopt";
+      "Unix.getsockopt"; "Unix.map_file"; "Unix.listen"; "Unix.bind";
+      "Unix.connect"; "Unix.getsockname"; "Unix.getpeername"; "Unix.send";
+      "Unix.recv"; "Unix.sendto"; "Unix.recvfrom"; "Unix.set_close_on_exec";
+      "Unix.fchmod"; "Unix.fsync"; "output_string"; "output_bytes";
+      "output_char"; "output"; "output_value"; "output_binary_int"; "flush";
+      "input"; "input_line"; "input_char"; "really_input";
+      "really_input_string"; "input_binary_int"; "seek_in"; "seek_out";
+      "pos_in"; "pos_out"; "in_channel_length"; "out_channel_length";
+      "set_binary_mode_in"; "set_binary_mode_out"; "Printf.fprintf";
+      "Format.fprintf"; "Marshal.to_channel"; "Marshal.from_channel";
+      "Unix.in_channel_of_descr"; "Unix.out_channel_of_descr";
+      (* plain value uses: comparisons etc. never take ownership *)
+      "="; "<>"; "<"; ">"; "<="; ">="; "=="; "!="; "compare"; "ignore";
+      "fst"; "snd"; "Some"; "min"; "max";
+    ]
+
+(* releases.(i) = calling this def relinquishes the caller's ownership
+   of argument i (it is closed, or escapes, inside).  Computed to a
+   fixpoint so a close two calls deep still counts. *)
+let fd_release_effects program : (string * string * int, bool array) Hashtbl.t =
+  let table = Hashtbl.create 64 in
+  let defs = cfg_defs program in
+  let changed = ref true in
+  (* replace-semantics effects are not strictly monotone; cap the
+     rounds so a pathological cycle degrades to approximate effects
+     instead of hanging the lint *)
+  let rounds = ref 0 in
+  while !changed && !rounds < 16 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun ((s : Summary.t), (d : Summary.def), (g : Cfg.t)) ->
+        if d.Summary.d_params <> [] then begin
+          let lookup = resolve_effect program table ~from:s in
+          let released p =
+            Array.exists
+              (fun (n : Cfg.node) ->
+                match n.Cfg.n_event with
+                | Some (Cfg.Call { parts; args; _ }) ->
+                    let name = dotted parts in
+                    if SSet.mem name fd_closers then List.mem p args
+                    else if SSet.mem name fd_transparent then false
+                    else (
+                      match lookup parts with
+                      | Some callee_rel ->
+                          List.exists
+                            (fun (i, a) ->
+                              a = p
+                              && (i >= Array.length callee_rel || callee_rel.(i)))
+                            (List.mapi (fun i a -> (i, a)) args)
+                      | None -> List.mem p args)
+                | Some (Cfg.Mention xs) -> List.mem p xs
+                | _ -> false)
+              g.Cfg.nodes
+          in
+          let e =
+            Array.of_list (List.map released d.Summary.d_params)
+          in
+          let key = def_key s.Summary.s_file d in
+          if Hashtbl.find_opt table key <> Some e then begin
+            Hashtbl.replace table key e;
+            changed := true
+          end
+        end)
+      defs
+  done;
+  table
+
+module Fd_lattice = struct
+  type state = (string * Cfg.loc) SMap.t
+
+  let bottom = SMap.empty
+  let entry = SMap.empty
+
+  let equal =
+    SMap.equal (fun (m1, l1) (m2, l2) -> String.equal m1 m2 && l1 = l2)
+
+  let join a b = SMap.union (fun _ x _ -> Some x) a b
+
+  (* set per solve *)
+  let lookup : (string list -> bool array option) ref = ref (fun _ -> None)
+
+  let transfer (node : Cfg.node) ~edge state =
+    match node.Cfg.n_event with
+    | Some (Cfg.Bind { vars; src }) -> (
+        let state = List.fold_left (fun m v -> SMap.remove v m) state vars in
+        match (edge, src) with
+        | `Normal, Cfg.Src_call parts when SSet.mem (dotted parts) fd_makers ->
+            List.fold_left
+              (fun m v -> SMap.add v (dotted parts, node.Cfg.n_loc) m)
+              state vars
+        | _ -> state)
+    | Some (Cfg.Call { parts; args; _ }) ->
+        let name = dotted parts in
+        if SSet.mem name fd_closers then
+          List.fold_left
+            (fun m a -> if a = "" then m else SMap.remove a m)
+            state args
+        else if SSet.mem name fd_transparent then state
+        else (
+          match !lookup parts with
+          | Some releases ->
+              (* Ownership transfers at the call on both edges, like an
+                 unknown call: the caller cannot fix a leak inside the
+                 callee's own exception path. *)
+              List.fold_left
+                (fun (i, m) a ->
+                  let m =
+                    if a <> "" && (i >= Array.length releases || releases.(i))
+                    then SMap.remove a m
+                    else m
+                  in
+                  (i + 1, m))
+                (0, state) args
+              |> snd
+          | None ->
+              (* unknown call: assume ownership transfers *)
+              List.fold_left
+                (fun m a -> if a = "" then m else SMap.remove a m)
+                state args)
+    | Some (Cfg.Mention xs) ->
+        List.fold_left (fun m x -> SMap.remove x m) state xs
+    | Some (Cfg.Return paths) ->
+        List.fold_left
+          (fun m parts ->
+            match parts with [ x ] -> SMap.remove x m | _ -> m)
+          state paths
+    | _ -> state
+end
+
+module Fd_solver = Dataflow.Make (Fd_lattice)
+
+let fd_violations program : violation list =
+  let releases = fd_release_effects program in
+  let out = ref [] in
+  List.iter
+    (fun ((s : Summary.t), (d : Summary.def), (g : Cfg.t)) ->
+      if d.Summary.d_is_fun then begin
+        Fd_lattice.lookup := resolve_effect program releases ~from:s;
+        let r = Fd_solver.solve g in
+        let leak_normal = r.Fd_solver.at_exit in
+        let leak_exn = r.Fd_solver.at_exit_exn in
+        let add loc msg =
+          out := { v_file = s.Summary.s_file; v_loc = sloc loc; v_msg = msg } :: !out
+        in
+        SMap.iter
+          (fun var (maker, loc) ->
+            add loc
+              (Printf.sprintf
+                 "%s opened by %s is not closed on some normal return path of \
+                  %s" var maker d.Summary.d_name))
+          leak_normal;
+        SMap.iter
+          (fun var (maker, loc) ->
+            if not (SMap.mem var leak_normal) then
+              add loc
+                (Printf.sprintf
+                   "%s opened by %s leaks when a later call in %s raises: \
+                    close it under Fun.protect ~finally (the exception path \
+                    skips the close)" var maker d.Summary.d_name))
+          leak_exn
+      end)
+    (cfg_defs program);
+  dedup_violations !out
+
+(* ==================== lost wakeups ==================== *)
+
+(* Two abstract states: Armed (the sleep word is published, so the
+   peer may skip its wakeup) and Safe.  After arming, the guard must be
+   re-read — the Dekker re-check — before any OS-level block; blocking
+   while Armed is exactly the lost-wakeup race PR 2 fixed.  Re-reads
+   are atomic-style guard loads and shared ring-cursor loads; clearing
+   the sleep word also disarms. *)
+
+let wk_safe = 1
+let wk_armed = 2
+
+type wakeup_effect = {
+  w_from_safe : int;  (** exit bits when entered Safe *)
+  w_from_armed : int;  (** exit bits when entered Armed *)
+  w_blocks_armed : bool;  (** entered Armed, reaches a block still Armed *)
+}
+
+(* only loads of the shared mapped words re-check anything; the local
+   cursor caches ([tail_local], [peer_head], ...) are private *)
+let shared_cursor_word l = l = "tail_w" || l = "head_w"
+
+let wakeup_apply lookup ~edge ~emit (ev : Cfg.event) state =
+  if state = 0 then 0
+  else
+    match ev with
+    | Cfg.Sleep_arm _ -> wk_armed
+    | Cfg.Sleep_clear _ -> wk_safe
+    | Cfg.Guard_load _ -> wk_safe
+    | Cfg.Cursor_load l when shared_cursor_word l -> wk_safe
+    | Cfg.Block prim ->
+        if state land wk_armed <> 0 then
+          emit
+            (Printf.sprintf
+               "%s blocks with the sleep word armed and no guard re-read in \
+                between: a concurrent producer can observe the pre-arm guard \
+                and skip the wakeup (lost-wakeup race)" prim);
+        state
+    | Cfg.Call { parts; _ } when edge = `Normal -> (
+        match lookup parts with
+        | Some e ->
+            if e.w_blocks_armed && state land wk_armed <> 0 then
+              emit
+                (Printf.sprintf
+                   "%s blocks with the sleep word armed and no guard re-read \
+                    since arming: a concurrent producer can skip the wakeup \
+                    (lost-wakeup race)" (dotted parts));
+            (* Mapping Armed through a call: a callee that re-reads the
+               shared guard on {e any} path counts as the Dekker
+               re-check.  [available c]-style predicates read the
+               cached cursor first and the shared word only on the
+               short-circuit slow path; the block only ever happens on
+               the not-available branch, which is the one that did the
+               read.  Correlating returns with paths is out of scope,
+               so take the optimistic bit. *)
+            let from_armed =
+              if e.w_from_armed land wk_safe <> 0 then wk_safe
+              else e.w_from_armed
+            in
+            let next =
+              (if state land wk_safe <> 0 then e.w_from_safe else 0)
+              lor if state land wk_armed <> 0 then from_armed else 0
+            in
+            if next = 0 then state else next
+        | None -> state)
+    | _ -> state
+
+let wakeup_lookup : (string list -> wakeup_effect option) ref =
+  ref (fun _ -> None)
+
+module Wakeup_lattice = struct
+  type state = int
+
+  let bottom = 0
+  let entry = wk_safe
+  let equal = Int.equal
+  let join = ( lor )
+
+  let transfer (node : Cfg.node) ~edge state =
+    match node.Cfg.n_event with
+    | Some ev -> wakeup_apply !wakeup_lookup ~edge ~emit:(fun _ -> ()) ev state
+    | None -> state
+end
+
+module Wakeup_solver = Dataflow.Make (Wakeup_lattice)
+
+let wakeup_effects program : (string * string * int, wakeup_effect) Hashtbl.t =
+  let table = Hashtbl.create 64 in
+  let defs = cfg_defs program in
+  let changed = ref true in
+  (* replace-semantics effects are not strictly monotone; cap the
+     rounds so a pathological cycle degrades to approximate effects
+     instead of hanging the lint *)
+  let rounds = ref 0 in
+  while !changed && !rounds < 16 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun ((s : Summary.t), (d : Summary.def), (g : Cfg.t)) ->
+        let lookup = resolve_effect program table ~from:s in
+        wakeup_lookup := lookup;
+        let safe = Wakeup_solver.solve ~init:wk_safe g in
+        let armed = Wakeup_solver.solve ~init:wk_armed g in
+        let blocks = ref false in
+        Array.iteri
+          (fun i (n : Cfg.node) ->
+            let st = armed.Wakeup_solver.before.(i) in
+            if st <> 0 then
+              match n.Cfg.n_event with
+              | Some ev ->
+                  ignore
+                    (wakeup_apply lookup ~edge:`Normal
+                       ~emit:(fun _ -> blocks := true)
+                       ev st)
+              | None -> ())
+          g.Cfg.nodes;
+        let e =
+          {
+            w_from_safe = safe.Wakeup_solver.at_exit;
+            w_from_armed = armed.Wakeup_solver.at_exit;
+            w_blocks_armed = !blocks;
+          }
+        in
+        let key = def_key s.Summary.s_file d in
+        if Hashtbl.find_opt table key <> Some e then begin
+          Hashtbl.replace table key e;
+          changed := true
+        end)
+      defs
+  done;
+  table
+
+let wakeup_violations program : violation list =
+  let table = wakeup_effects program in
+  let out = ref [] in
+  List.iter
+    (fun ((s : Summary.t), (_d : Summary.def), (g : Cfg.t)) ->
+      let lookup = resolve_effect program table ~from:s in
+      wakeup_lookup := lookup;
+      let r = Wakeup_solver.solve ~init:wk_safe g in
+      Array.iteri
+        (fun i (n : Cfg.node) ->
+          let st = r.Wakeup_solver.before.(i) in
+          if st <> 0 then
+            match n.Cfg.n_event with
+            | Some ev ->
+                ignore
+                  (wakeup_apply lookup ~edge:`Normal
+                     ~emit:(fun msg ->
+                       out :=
+                         {
+                           v_file = s.Summary.s_file;
+                           v_loc = sloc n.Cfg.n_loc;
+                           v_msg = msg;
+                         }
+                         :: !out)
+                     ev st)
+            | None -> ())
+        g.Cfg.nodes)
+    (cfg_defs program);
+  dedup_violations !out

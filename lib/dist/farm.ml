@@ -91,15 +91,21 @@ let p2p_ring_bytes = 64 * 1024
 
 let spawn_process ~worker_argv ~extra_tokens =
   let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (* Later children must not inherit this link, or a dead worker's
-     EOF would never reach us. *)
-  Unix.set_close_on_exec parent_fd;
-  let argv = Array.append worker_argv (Array.of_list extra_tokens) in
-  let pid =
+  match
+    (* Later children must not inherit this link, or a dead worker's
+       EOF would never reach us. *)
+    Unix.set_close_on_exec parent_fd;
+    let argv = Array.append worker_argv (Array.of_list extra_tokens) in
     Unix.create_process argv.(0) argv child_fd Unix.stdout Unix.stderr
-  in
-  Unix.close child_fd;
-  (parent_fd, pid)
+  with
+  | pid ->
+      Unix.close child_fd;
+      (parent_fd, pid)
+  | exception e ->
+      (* a failed exec must not leak the pair *)
+      Unix.close child_fd;
+      Unix.close parent_fd;
+      raise e
 
 let spawn_sock ?(packet_bytes = Wire.default_packet_bytes) ~worker_argv ~procs
     ~mode ~trace pe =

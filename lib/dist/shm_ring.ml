@@ -217,30 +217,38 @@ let create_segment ?(ring_bytes = default_ring_bytes) () =
   let ring_bytes = max 4096 (align8 ring_bytes) in
   let path = Filename.temp_file ~temp_dir:(Lazy.force segment_dir) "repro-ring-" ".shm" in
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
-  (* ftruncate zero-fills: tail = head = sleeping = 0, both rings empty *)
-  Unix.ftruncate fd (segment_size ~ring_bytes);
-  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      (* ftruncate zero-fills: tail = head = sleeping = 0, both rings
+         empty *)
+      Unix.ftruncate fd (segment_size ~ring_bytes));
   path
 
 let unlink_segment path = try Sys.remove path with Sys_error _ -> ()
 
 let attach ~path ~side ?doorbell () =
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
-  let size = (Unix.fstat fd).Unix.st_size in
-  let cap = (size / 2) - ring_header_bytes in
-  if cap < 4096 || cap land 7 <> 0 then begin
-    Unix.close fd;
-    failwith (Printf.sprintf "Shm_ring.attach: %s has absurd size %d" path size)
-  end;
-  let map kind n =
-    Bigarray.array1_of_genarray
-      (Unix.map_file fd kind Bigarray.c_layout true [| n |])
+  (* The mappings outlive the descriptor, so it closes on every path —
+     including a raise out of fstat/map_file. *)
+  let cap, chars, words, floats =
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        let cap = (size / 2) - ring_header_bytes in
+        if cap < 4096 || cap land 7 <> 0 then
+          failwith
+            (Printf.sprintf "Shm_ring.attach: %s has absurd size %d" path size);
+        let map kind n =
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd kind Bigarray.c_layout true [| n |])
+        in
+        let chars = map Bigarray.char size in
+        let words = map Bigarray.int64 (size / 8) in
+        let floats = map Bigarray.float64 (size / 8) in
+        (cap, chars, words, floats))
   in
-  let chars = map Bigarray.char size in
-  let words = map Bigarray.int64 (size / 8) in
-  let floats = map Bigarray.float64 (size / 8) in
-  (* The mappings outlive the descriptor. *)
-  Unix.close fd;
   let ring i =
     let hdr_off = i * (ring_header_bytes + cap) in
     let data_off = hdr_off + ring_header_bytes in

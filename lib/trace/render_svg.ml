@@ -114,5 +114,6 @@ let render ?(width = 960) ?(row_height = 22) ?title (t : Trace.t) =
 
 let to_file ?width ?row_height ?title t path =
   let oc = open_out path in
-  output_string oc (render ?width ?row_height ?title t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?width ?row_height ?title t))

@@ -1,0 +1,5 @@
+(* seeded violation: if ftruncate raises, fd never reaches close *)
+let prepare path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  Unix.ftruncate fd 4096;
+  Unix.close fd

@@ -1,0 +1,6 @@
+(* clean: Fun.protect closes the fd on the exceptional path too *)
+let prepare path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd 4096)

@@ -1,0 +1,6 @@
+(* seeded violation: plain blocking helper reachable from the loop *)
+let await_io fd = ignore (Unix.select [ fd ] [] [] (-1.0))
+
+let rec worker_loop fd =
+  await_io fd;
+  worker_loop fd

@@ -1,0 +1,9 @@
+(* clean: both blocking helpers are sanctioned suspension points --
+   one by registry name, one by attribute *)
+let fiber_await fd = ignore (Unix.select [ fd ] [] [] (-1.0))
+let[@sanctioned_blocking] park_until_ready m = Mutex.lock m
+
+let rec worker_loop fd m =
+  fiber_await fd;
+  park_until_ready m;
+  worker_loop fd m

@@ -1,0 +1,9 @@
+(* seeded violation: no rebinding this time -- the descriptor itself
+   reaches the result and is captured by the farmed closure *)
+let descr path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  fd
+
+let run path xs =
+  let tag = descr path in
+  Farm.farm (fun x -> ignore x; tag) xs

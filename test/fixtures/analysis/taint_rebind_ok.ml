@@ -1,0 +1,11 @@
+(* clean: the rebinding kills the resource taint, so the value the
+   farmed closure captures is a plain int, not a descriptor *)
+let descr path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  Unix.close fd;
+  let fd = String.length path in
+  fd
+
+let run path xs =
+  let tag = descr path in
+  Farm.farm (fun x -> tag + x) xs

@@ -1,0 +1,4 @@
+(* takes ownership: the descriptor is closed here *)
+let finish fd =
+  Unix.ftruncate fd 4096;
+  Unix.close fd

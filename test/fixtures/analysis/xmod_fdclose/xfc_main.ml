@@ -1,0 +1,5 @@
+(* clean: finish is resolved cross-module and found to close fd, so
+   ownership transfers at the call *)
+let go path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  Xfc_helper.finish fd

@@ -1,0 +1,2 @@
+(* uses the descriptor but never takes ownership of it *)
+let setup fd = Unix.ftruncate fd 4096

@@ -1,0 +1,6 @@
+(* seeded violation: setup is resolved cross-module and found not to
+   close fd, so a raise inside it leaks the descriptor *)
+let go path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  Xfd_helper.setup fd;
+  Unix.close fd

@@ -1,0 +1,9 @@
+(* frame helpers: fill opens a frame and writes its payload plane;
+   publish commits it by advancing the shared tail cursor *)
+let fill r c =
+  let t = Mapped_word.load r.tail_w in
+  A1.set r.data_chars t c
+
+let publish r =
+  Tatomic.Fence.full ();
+  Mapped_word.store r.tail_w 1

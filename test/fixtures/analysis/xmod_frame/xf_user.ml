@@ -1,0 +1,6 @@
+(* seeded violation: the second publish commits a frame that was
+   already committed -- the consumer may have freed it *)
+let send_twice r c =
+  Shm_ring.fill r c;
+  Shm_ring.publish r;
+  Shm_ring.publish r

@@ -1,0 +1,4 @@
+(* clean: one acquire-write-commit cycle per frame *)
+let send r c =
+  Shm_ring.fill r c;
+  Shm_ring.publish r

@@ -1,0 +1,2 @@
+(* arms the sleep word: after this the peer may skip the doorbell *)
+let arm c = Word.store c.sleep_flag 1

@@ -1,0 +1,5 @@
+(* seeded violation: blocks right after arming without re-reading the
+   guard -- work published between the two lines is never noticed *)
+let wait c fd buf =
+  Ws_arm.arm c;
+  ignore (Unix.read fd buf 0 1)

@@ -53,6 +53,12 @@ let expectations =
     ("unjoined_domain_seq_bad.ml", [ ("unjoined-domain", 3) ]);
     ("unjoined_domain_ok.ml", []);
     ("parse_error_bad.ml", [ ("parse-error", 2) ]);
+    ("fd_leak_exn_bad.ml", [ ("fd-leak", 3) ]);
+    ("fd_leak_protect_ok.ml", []);
+    ("taint_rebind_bad.ml", [ ("marshal-safety", 9) ]);
+    ("taint_rebind_ok.ml", []);
+    ("sanctioned_blocking_bad.ml", [ ("blocking-in-worker", 2) ]);
+    ("sanctioned_blocking_ok.ml", []);
   ]
 
 let fixture_case (name, expected) () =
@@ -87,6 +93,12 @@ let group_expectations =
     ( "xmod_ring_fenced",
       1,
       [ ("ring-discipline", "xmod_ring_fenced/shm_ring.ml", 10) ] );
+    ("xmod_frame", 2, [ ("frame-lifetime", "xmod_frame/xf_user.ml", 6) ]);
+    ("xmod_frame_ok", 2, []);
+    ("xmod_fdleak", 2, [ ("fd-leak", "xmod_fdleak/xfd_main.ml", 4) ]);
+    ("xmod_fdclose", 2, []);
+    ("xmod_wakeup", 2, [ ("lost-wakeup", "xmod_wakeup/ws_wait.ml", 5) ]);
+    ("xmod_wakeup_ok", 2, []);
   ]
 
 (* strip the fixtures/analysis/ prefix so the tables above stay short *)
@@ -149,7 +161,8 @@ let rule_ids_stable () =
     [
       "spark-purity"; "atomics-discipline"; "blocking-in-worker";
       "discarded-future"; "unjoined-domain"; "marshal-safety";
-      "ring-discipline"; "protocol-exhaustiveness";
+      "ring-discipline"; "protocol-exhaustiveness"; "frame-lifetime";
+      "fd-leak"; "lost-wakeup";
     ]
     Rules.ids
 
@@ -219,6 +232,7 @@ let sarif_shape () =
       fresh;
       suppressed;
       stale = [];
+      duplicate_entries = [];
       files_scanned = 1;
       files_parsed = 1;
       files_cached = 0;
@@ -352,6 +366,120 @@ let tree_is_clean_under_baseline () =
     check int "no stale baseline entries" 0 (List.length r.Engine.stale)
   end
 
+(* Duplicate suppression keys: apply consumes one entry per finding,
+   so a repeated key either hides a stale entry or double-suppresses a
+   regressed line; the engine reports the repeats and the drivers exit
+   2 on them. *)
+let baseline_duplicate_detection () =
+  let b =
+    Baseline.of_string
+      "spark-purity lib/a.ml:3#abcdefabcdef -- first\n\
+       spark-purity lib/a.ml:9#abcdefabcdef -- same hash, other line\n\
+       spark-purity lib/b.ml:3#abcdefabcdef -- other file, not a dup\n\
+       fd-leak lib/c.ml:4 -- legacy\n\
+       fd-leak lib/c.ml:4 -- legacy repeat\n"
+  in
+  let dups = Baseline.duplicates b in
+  check
+    (list (pair string int))
+    "second and later occurrences flagged"
+    [ ("spark-purity", 2); ("fd-leak", 5) ]
+    (List.map (fun (e : Baseline.entry) -> (e.Baseline.rule, e.Baseline.source_line)) dups);
+  (* the engine surfaces them in the report and the text rendering *)
+  let r = Engine.run ~baseline:b ~rules:Rules.all [ fixture "atomics_ok.ml" ] in
+  check int "report carries the duplicates" 2
+    (List.length r.Engine.duplicate_entries);
+  check bool "text report names them" true
+    (contains ~sub:"duplicate baseline entry" (Engine.text_report r))
+
+(* Bumping Cache.format_version must invalidate a warm cache wholesale:
+   a version-mismatched file degrades to empty and the next run
+   re-summarises everything from cold. *)
+let cache_format_version_invalidates () =
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ()) "repro_analysis_fmt_test"
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm tmp;
+  Sys.mkdir tmp 0o700;
+  Fun.protect ~finally:(fun () -> rm tmp) @@ fun () ->
+  let cache_file = Filename.concat tmp "summaries.bin" in
+  let roots = [ fixture "atomics_ok.ml"; fixture "blocking_ok.ml" ] in
+  let r1 = Engine.run ~cache_file ~rules:Rules.all roots in
+  check int "cold run parses all" 2 r1.Engine.files_parsed;
+  let r2 = Engine.run ~cache_file ~rules:Rules.all roots in
+  check int "warm run parses nothing" 0 r2.Engine.files_parsed;
+  (* forge a cache written by a *newer* format: must not be trusted *)
+  let oc = open_out_bin cache_file in
+  Marshal.to_channel oc
+    ((Repro_analysis.Cache.format_version + 1, [])
+      : int * (string * Repro_analysis.Summary.t) list)
+    [];
+  close_out oc;
+  let r3 = Engine.run ~cache_file ~rules:Rules.all roots in
+  check int "stale format re-parses from cold" 2 r3.Engine.files_parsed;
+  check int "no entry survives the bump" 0 r3.Engine.files_cached;
+  check int "findings unchanged" (List.length r1.Engine.fresh)
+    (List.length r3.Engine.fresh)
+
+(* --since scoping: the report is filtered to the changed files plus
+   their reverse call-graph dependents, while the rest of the tree is
+   still linked (so cross-module facts stay visible). *)
+let since_scopes_to_dependents () =
+  (* change only the blocking helper: the finding it causes lives in
+     the same group and survives; every other fixture's findings are
+     out of focus and dropped *)
+  let helper = fixture "xmod_blocking/xb_helper.ml" in
+  let r =
+    Engine.run ~rules:Rules.all ~since_files:[ helper ] [ fixture_dir ]
+  in
+  let files =
+    List.sort_uniq compare
+      (List.map (fun (f : Finding.t) -> strip_fixture_prefix f.Finding.file) r.Engine.fresh)
+  in
+  check (list string) "only the changed slice reports"
+    [ "xmod_blocking/xb_helper.ml" ] files;
+  (* an untouched file with no dependence on the change reports nothing *)
+  let r2 =
+    Engine.run ~rules:Rules.all
+      ~since_files:[ fixture "atomics_ok.ml" ]
+      [ fixture_dir ]
+  in
+  check (list string) "independent change focuses to nothing" []
+    (List.sort_uniq compare
+       (List.map (fun (f : Finding.t) -> f.Finding.file) r2.Engine.fresh));
+  (* dependents: changing the deep helper pulls its callers into focus *)
+  let deps =
+    let summ f =
+      let ic = open_in_bin f in
+      let source =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Engine.summarize_source ~path:f ~source ~digest:(Digest.string source)
+    in
+    let summaries =
+      List.map summ
+        [
+          fixture "xmod_blocking/xb_helper.ml";
+          fixture "xmod_blocking/xb_mid.ml";
+          fixture "xmod_blocking/xb_worker.ml";
+        ]
+    in
+    let program = Repro_analysis.Linker.link summaries in
+    Repro_analysis.Linker.dependents program
+      ~changed:[ Finding.normalize_path helper ]
+  in
+  check int "helper + mid + worker in closure" 3 (List.length deps)
+
 let suite =
   ( "analysis",
     List.map
@@ -370,6 +498,12 @@ let suite =
         test_case "baseline rejects malformed hashes" `Quick
           baseline_rejects_bad_hash;
         test_case "summary cache invalidates on edit" `Quick cache_invalidation;
+        test_case "cache format version bump invalidates" `Quick
+          cache_format_version_invalidates;
+        test_case "baseline duplicates detected" `Quick
+          baseline_duplicate_detection;
+        test_case "--since scopes to call-graph dependents" `Quick
+          since_scopes_to_dependents;
         test_case "engine run aggregates fixtures" `Quick engine_run_aggregates;
         test_case "rule ids are stable" `Quick rule_ids_stable;
         test_case "baseline silences and un-silences" `Quick baseline_roundtrip;

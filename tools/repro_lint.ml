@@ -2,18 +2,26 @@
    as `dune build @lint` and usable standalone:
 
      repro_lint [--baseline FILE] [--cache FILE] [--rule ID[,ID...]]...
-                [--json] [--sarif FILE] [--list-rules] [ROOT]...
+                [--since REF] [--json] [--sarif FILE] [--list-rules]
+                [ROOT]...
 
    Scans every .ml under the given roots (default: lib bin), summarises
    each file (digest-cached when --cache names a file), links the
    summaries, runs the rule registry, and subtracts the suppression
    baseline.
 
+   --since REF scopes the report to the files git says changed since
+   REF plus their reverse call-graph dependents: the whole tree is
+   still summarised (the digest cache absorbs the cost) and linked, so
+   cross-module rules keep their global view, but only findings in the
+   changed slice gate.  This is the incremental mode the
+   tools/pre-commit hook runs.
+
    Exit codes:
      0  clean
      1  fresh (non-baselined) findings
-     2  no fresh findings, but stale baseline entries — the baseline
-        must shrink with the code it excuses
+     2  no fresh findings, but stale or duplicate baseline entries —
+        the baseline must shrink with the code it excuses
      3  usage or baseline syntax errors *)
 
 module Engine = Repro_analysis.Engine
@@ -28,6 +36,7 @@ let split_rules s =
 let () =
   let baseline_path = ref None in
   let cache_path = ref None in
+  let since = ref None in
   let rule_ids = ref [] in
   let json = ref false in
   let sarif_path = ref None in
@@ -41,6 +50,9 @@ let () =
       ( "--cache",
         Arg.String (fun s -> cache_path := Some s),
         "FILE Summary cache keyed by file digest (created if absent)" );
+      ( "--since",
+        Arg.String (fun s -> since := Some s),
+        "REF Report only on files changed since git REF plus their          call-graph dependents" );
       ( "--rule",
         Arg.String (fun s -> rule_ids := split_rules s @ !rule_ids),
         "ID[,ID...] Run only these rules (repeatable, comma-separable)" );
@@ -86,11 +98,23 @@ let () =
           exit 3)
   in
   let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
-  let report = Engine.run ~baseline ?cache_file:!cache_path ~rules roots in
+  let since_files =
+    match !since with
+    | None -> None
+    | Some ref_ -> (
+        try Some (Engine.changed_since ref_)
+        with Failure msg ->
+          Printf.eprintf "repro_lint: --since %s: %s\n" ref_ msg;
+          exit 3)
+  in
+  let report =
+    Engine.run ~baseline ?cache_file:!cache_path ?since_files ~rules roots
+  in
   (match !sarif_path with
   | Some path -> Json.to_file path (Engine.sarif_report ~rules report)
   | None -> ());
   if !json then print_string (Json.to_string (Engine.json_report ~rules report) ^ "\n")
   else print_string (Engine.text_report report);
   if report.Engine.fresh <> [] then exit 1
-  else if report.Engine.stale <> [] then exit 2
+  else if report.Engine.stale <> [] || report.Engine.duplicate_entries <> []
+  then exit 2
