@@ -443,6 +443,116 @@ let calibration_json () =
       ("shm_small_one_way_ns", Repro_util.Json_out.Int c.shm_small_one_way_ns);
     ]
 
+(* ---------------- metrics record overhead ---------------- *)
+
+(* Interleaved A/B: rounds alternate enabled/disabled on the very same
+   instruments, so drift (thermal, GC phase, frequency scaling) lands
+   on both arms equally and the difference isolates the record cost.
+   Micro level: counter incr (per-domain shard, fetch_and_add) and
+   histogram observe; macro level: a full instrumented pool workload
+   with the default registry toggled. *)
+let metrics_overhead () =
+  hr "Metrics record overhead (interleaved A/B, enabled vs disabled)";
+  let module M = Repro_metrics.Metrics in
+  let median l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let time_ns f =
+    let t0 = now_ns () in
+    f ();
+    now_ns () - t0
+  in
+  let rounds = if quick then 5 else 9 in
+  let reg = M.create () in
+  let c = M.counter ~registry:reg ~labels:[ ("worker", "0") ] "bench_counter_total" in
+  let h = M.histogram ~registry:reg "bench_hist_ns" in
+  let ops = if quick then 200_000 else 1_000_000 in
+  let run_ab name round =
+    let ena = ref [] and dis = ref [] in
+    for r = 1 to 2 * rounds do
+      let on = r land 1 = 1 in
+      M.set_enabled reg on;
+      let per_op = float_of_int (time_ns round) /. float_of_int ops in
+      let cell = if on then ena else dis in
+      cell := per_op :: !cell
+    done;
+    M.set_enabled reg true;
+    let e = median !ena and d = median !dis in
+    Printf.printf "  %-32s enabled %6.2f ns/op   disabled %6.2f ns/op   delta %+.2f ns\n%!"
+      name e d (e -. d);
+    (name, e, d)
+  in
+  let micro =
+    [
+      run_ab "counter incr (sharded XADD)" (fun () ->
+          for i = 1 to ops do
+            ignore i;
+            M.incr c
+          done);
+      (* mask the value so min/max stabilise after the first rounds:
+         steady-state observe, not the pathological every-op-new-max
+         case a monotone argument would produce *)
+      run_ab "histogram observe" (fun () ->
+          for i = 1 to ops do
+            M.observe h (i land 0xffff)
+          done);
+    ]
+  in
+  (* macro: same pool, same workload, default registry toggled between
+     repeats — the instrumented paths are run_task's busy-ns clocking
+     and the harness duration histogram *)
+  let module W = (val Option.get (Repro_exec.Workload.find "sumeuler")) in
+  let cores = min 4 (Domain.recommended_domain_count ()) in
+  let size = W.quick_size in
+  let e_ns, d_ns =
+    Repro_exec.Pool.with_pool ~cores (fun () ->
+        ignore (W.run ~size ());
+        let ena = ref [] and dis = ref [] in
+        for r = 1 to 2 * rounds do
+          let on = r land 1 = 1 in
+          M.set_enabled M.default on;
+          let dt = float_of_int (time_ns (fun () -> ignore (W.run ~size ()))) in
+          let cell = if on then ena else dis in
+          cell := dt :: !cell
+        done;
+        M.set_enabled M.default true;
+        (median !ena, median !dis))
+  in
+  Printf.printf
+    "  %-32s enabled %6.2f ms     disabled %6.2f ms     delta %+.1f%%\n%!"
+    (Printf.sprintf "sumeuler size %d, %d cores" size cores)
+    (e_ns /. 1e6) (d_ns /. 1e6)
+    (100. *. (e_ns -. d_ns) /. d_ns);
+  Repro_util.Json_out.to_file "BENCH_metrics.json"
+    (Repro_util.Json_out.Obj
+       (("schema", Repro_util.Json_out.Str "repro/bench-metrics/v1")
+        :: Exec_harness.env_header ()
+       @ [
+           ( "micro_ns_per_op",
+             Repro_util.Json_out.List
+               (List.map
+                  (fun (name, e, d) ->
+                    Repro_util.Json_out.Obj
+                      [
+                        ("name", Repro_util.Json_out.Str name);
+                        ("enabled_ns", Repro_util.Json_out.Float e);
+                        ("disabled_ns", Repro_util.Json_out.Float d);
+                      ])
+                  micro) );
+           ( "workload_e2e",
+             Repro_util.Json_out.Obj
+               [
+                 ("workload", Repro_util.Json_out.Str W.name);
+                 ("cores", Repro_util.Json_out.Int cores);
+                 ("size", Repro_util.Json_out.Int size);
+                 ("enabled_ns", Repro_util.Json_out.Float e_ns);
+                 ("disabled_ns", Repro_util.Json_out.Float d_ns);
+               ] );
+         ]));
+  Printf.printf "\nwrote BENCH_metrics.json\n%!"
+
 (* Calibrate [Transport.measured] profiles from this machine: round
    trips over a real socketpair and a real shm ring pair give latency
    / per-message / per-byte wire costs, a Marshal micro-benchmark
@@ -929,6 +1039,7 @@ let () =
   else if List.mem "--minor-heap-child" argv then minor_heap_child ()
   else if List.mem "--minor-heap" argv then minor_heap_sweep ()
   else if List.mem "--transport" argv then transport_calibration ()
+  else if List.mem "--metrics-overhead" argv then metrics_overhead ()
   else if List.mem "--eden-vs-gph" argv then eden_vs_gph ()
   else begin
     Printf.printf
@@ -944,5 +1055,6 @@ let () =
     sim_vs_real ();
     eden_vs_gph ();
     transport_calibration ();
+    metrics_overhead ();
     benchmark ()
   end

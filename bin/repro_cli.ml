@@ -232,6 +232,56 @@ let run_cmd =
       const run $ workload $ version $ ncaps $ size $ machine_arg $ trace_flag
       $ svg_file $ events_flag $ out_file)
 
+(* ---------------- live metrics plumbing (exec & dist) ---------------- *)
+
+module Metrics = Repro_metrics.Metrics
+module MExport = Repro_metrics.Export
+module MHealth = Repro_metrics.Health
+module MSampler = Repro_metrics.Sampler
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "Sample the live metrics registry every $(b,--metrics-interval) \
+           milliseconds and write the time series as JSON to $(docv), \
+           rewritten atomically after every tick so $(b,repro-cli top) can \
+           follow the run live."
+        ~docv:"FILE.json")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "metrics-interval" ]
+        ~doc:"Sampling period for $(b,--metrics), in milliseconds." ~docv:"MS")
+
+let metrics_om_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-om" ]
+        ~doc:
+          "Write the final metrics snapshot in OpenMetrics text format to \
+           $(docv) (validate with $(b,repro-cli metrics-check))."
+        ~docv:"FILE.om")
+
+let strict_health_arg =
+  Arg.(
+    value & flag
+    & info [ "strict-health" ]
+        ~doc:
+          "Exit 3 when any shutdown health detector triggers (steal-failure \
+           storm, spark fizzle ratio, ring backpressure stall, GC pause \
+           budget).")
+
+let write_text_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
 (* ---------------- exec: real multicore execution ---------------- *)
 
 let exec_cmd =
@@ -310,7 +360,7 @@ let exec_cmd =
           ~docv:"FILE.svg")
   in
   let run (module W : Workload.S) cores size repeat sweep_flag json_file
-      exec_events trace_file trace_svg quick out =
+      exec_events trace_file trace_svg mfile mint mom strict quick out =
     let hw = Domain.recommended_domain_count () in
     let cores = match cores with Some c -> max 1 c | None -> hw in
     let size =
@@ -327,6 +377,24 @@ let exec_cmd =
       if sweep_flag then Harness.core_counts_up_to cores
       else if cores = 1 then [ 1 ]
       else [ 1; cores ]
+    in
+    let meta =
+      Repro_util.Json_out.
+        [
+          ("command", Str "exec");
+          ("workload", Str W.name);
+          ("cores", Int cores);
+          ("size", Int size);
+        ]
+    in
+    let sampler =
+      Option.map
+        (fun path ->
+          ( path,
+            MSampler.start ~interval_ms:(max 10 mint)
+              ~on_sample:(fun series -> MExport.write_series ~meta path series)
+              () ))
+        mfile
     in
     let reference = W.reference ~size in
     let ms = Harness.sweep ~repeats:repeat ~cores_list ~size (module W) in
@@ -391,28 +459,84 @@ let exec_cmd =
       Buffer.add_string buf "per-worker breakdown:\n";
       Buffer.add_string buf (Repro_util.Tablefmt.to_string t)
     end;
-    (match trace_file with
-    | None ->
-        if trace_svg <> None then
-          Buffer.add_string buf "--trace-svg has no effect without --trace\n"
+    (* the traced run happens now, but the Chrome file is written after
+       the sampler (if any) stops, so its snapshots can be pinned onto
+       the timeline as instants *)
+    let trace_run =
+      match trace_file with
+      | None ->
+          if trace_svg <> None then
+            Buffer.add_string buf "--trace-svg has no effect without --trace\n";
+          None
+      | Some path ->
+          let module Pool = Repro_exec.Pool in
+          let module Tracer = Repro_exec.Tracer in
+          let tr = Tracer.create ~ncaps:cores () in
+          Tracer.enable tr;
+          (* ring-drop counters flow into live snapshots while the
+             traced pool runs *)
+          let tok =
+            Metrics.add_collector ~name:"tracer" (fun () ->
+                Tracer.metrics_samples tr)
+          in
+          let p = Pool.create ~cores ~tracer:tr () in
+          let v = Pool.run p (fun () -> W.run ~size ()) in
+          Pool.shutdown p;
+          Tracer.disable tr;
+          Metrics.remove_collector tok;
+          if v <> reference then
+            failwith "traced run: result differs from sequential reference";
+          Some (path, tr)
+    in
+    let series =
+      match sampler with
+      | None -> []
+      | Some (spath, s) ->
+          let series = MSampler.stop s in
+          MExport.write_series ~meta spath series;
+          Buffer.add_string buf
+            (Printf.sprintf "wrote %s (%d snapshots)\n" spath
+               (List.length series));
+          series
+    in
+    let final_snap =
+      match List.rev series with s :: _ -> s | [] -> Metrics.snapshot ()
+    in
+    (match mom with
     | Some path ->
-        let module Pool = Repro_exec.Pool in
+        write_text_file path (MExport.openmetrics final_snap);
+        Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
+    | None -> ());
+    (match trace_run with
+    | None -> ()
+    | Some (path, tr) ->
         let module Tracer = Repro_exec.Tracer in
-        let tr = Tracer.create ~ncaps:cores () in
-        Tracer.enable tr;
-        let p = Pool.create ~cores ~tracer:tr () in
-        let v = Pool.run p (fun () -> W.run ~size ()) in
-        Pool.shutdown p;
-        Tracer.disable tr;
-        if v <> reference then
-          failwith "traced run: result differs from sequential reference";
         let log = Tracer.to_eventlog tr in
-        let doc = Repro_trace.Chrome.of_eventlog ~ncaps:cores log in
+        let t0 = Tracer.t0_ns tr in
+        let instants =
+          List.filter_map
+            (fun (s : Metrics.snapshot) ->
+              if s.Metrics.taken_ns < t0 then None
+              else
+                Some
+                  ( s.Metrics.taken_ns - t0,
+                    "metrics",
+                    [
+                      ( "sparks_run",
+                        Metrics.total s "repro_pool_sparks_run_total" );
+                      ("steals", Metrics.total s "repro_steals_total");
+                      ( "gc_minor",
+                        Metrics.total s "repro_gc_minor_collections" );
+                    ] ))
+            series
+        in
+        let doc = Repro_trace.Chrome.of_eventlog ~instants ~ncaps:cores log in
         Repro_util.Json_out.to_file path doc;
         Buffer.add_string buf
-          (Printf.sprintf "wrote %s (%d events recorded, Chrome trace-event \
-                           format)\n"
-             path (Tracer.recorded tr));
+          (Printf.sprintf
+             "wrote %s (%d events recorded, %d metric instant(s), Chrome \
+              trace-event format)\n"
+             path (Tracer.recorded tr) (List.length instants));
         (match trace_svg with
         | Some svg_path ->
             let trace = Repro_trace.Eventlog.to_trace ~ncaps:cores log in
@@ -425,7 +549,16 @@ let exec_cmd =
           Repro_exec.Profile.analyze (Repro_exec.Profile.of_chrome_json doc)
         in
         Buffer.add_string buf (Repro_exec.Profile.to_string report));
-    emit out (Buffer.contents buf)
+    let health_code =
+      if mfile <> None || mom <> None || strict then begin
+        let verdicts = MHealth.evaluate final_snap in
+        Buffer.add_string buf (Format.asprintf "%a" MHealth.pp verdicts);
+        if strict then MHealth.exit_code verdicts else 0
+      end
+      else 0
+    in
+    emit out (Buffer.contents buf);
+    if health_code <> 0 then exit health_code
   in
   Cmd.v
     (Cmd.info "exec"
@@ -434,7 +567,9 @@ let exec_cmd =
           executor) and report measured wall-clock speedups")
     Term.(
       const run $ workload $ cores $ size $ repeat $ sweep_flag $ json_file
-      $ exec_events $ trace_file $ trace_svg $ quick $ out_file)
+      $ exec_events $ trace_file $ trace_svg $ metrics_file_arg
+      $ metrics_interval_arg $ metrics_om_arg $ strict_health_arg $ quick
+      $ out_file)
 
 (* ---------------- dist: multi-process (Eden/GUM) execution ---------------- *)
 
@@ -515,7 +650,7 @@ let dist_cmd =
       & info [ "transport" ] ~doc ~docv:"sock|shm")
   in
   let run (module W : Workload.S) procs size repeat sweep_flag json_file
-      trace_file transport quick out =
+      trace_file transport mfile mint mom strict quick out =
     let hw = Domain.recommended_domain_count () in
     let procs = match procs with Some p -> max 1 p | None -> hw in
     let size =
@@ -533,11 +668,33 @@ let dist_cmd =
       else if procs = 1 then [ 1 ]
       else [ 1; procs ]
     in
+    let transport_name = Repro_dist.Farm.transport_name transport in
+    let meta =
+      Repro_util.Json_out.
+        [
+          ("command", Str "dist");
+          ("workload", Str W.name);
+          ("procs", Int procs);
+          ("size", Int size);
+          ("transport", Str transport_name);
+        ]
+    in
+    (* the sampler sees the coordinator side live (its link counters,
+       wire errors, GC); the farm-wide merged snapshot is appended to
+       the series at the end *)
+    let sampler =
+      Option.map
+        (fun path ->
+          ( path,
+            MSampler.start ~interval_ms:(max 10 mint)
+              ~on_sample:(fun series -> MExport.write_series ~meta path series)
+              () ))
+        mfile
+    in
     let reference = W.reference ~size in
     let ms =
       Measure.sweep ~repeats:repeat ~transport ~procs_list ~size (module W)
     in
-    let transport_name = Repro_dist.Farm.transport_name transport in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf
       (Printf.sprintf
@@ -586,7 +743,38 @@ let dist_cmd =
           (Printf.sprintf
              "wrote %s (%d spans across %d PE tracks + coordinator)\n" path
              nspans procs));
-    emit out (Buffer.contents buf)
+    let series = match sampler with None -> [] | Some (_, s) -> MSampler.stop s in
+    let health_code =
+      if mfile = None && mom = None && not strict then 0
+      else begin
+        (* one more farm run to collect the merged farm-wide snapshot:
+           each PE piggybacks its whole registry on the Stats reply and
+           the coordinator relabels ([pe=N]) and merges them *)
+        let o = Repro_dist.Farm.run ~transport ~procs ~size (module W) in
+        if o.Repro_dist.Farm.result <> reference then
+          failwith "metrics run: result differs from sequential reference";
+        let merged = o.Repro_dist.Farm.merged_metrics in
+        (match mfile with
+        | Some path ->
+            MExport.write_series ~meta path (series @ [ merged ]);
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "wrote %s (%d coordinator snapshot(s) + merged farm view, \
+                  %d PEs)\n"
+                 path (List.length series) procs)
+        | None -> ());
+        (match mom with
+        | Some path ->
+            write_text_file path (MExport.openmetrics merged);
+            Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
+        | None -> ());
+        let verdicts = MHealth.evaluate merged in
+        Buffer.add_string buf (Format.asprintf "%a" MHealth.pp verdicts);
+        if strict then MHealth.exit_code verdicts else 0
+      end
+    in
+    emit out (Buffer.contents buf);
+    if health_code <> 0 then exit health_code
   in
   Cmd.v
     (Cmd.info "dist"
@@ -598,7 +786,8 @@ let dist_cmd =
           message/byte/GC counters")
     Term.(
       const run $ workload $ procs $ size $ repeat $ sweep_flag $ json_file
-      $ trace_file $ transport $ quick $ out_file)
+      $ trace_file $ transport $ metrics_file_arg $ metrics_interval_arg
+      $ metrics_om_arg $ strict_health_arg $ quick $ out_file)
 
 (* ---------------- profile: post-hoc trace analysis ---------------- *)
 
@@ -880,6 +1069,204 @@ let check_cmd =
           seeded mutants are caught")
     Term.(const run $ trace_flag $ config_name $ out_file)
 
+(* ---------------- top: live metrics view ---------------- *)
+
+let top_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE.json"
+          ~doc:
+            "Time-series JSON written by $(b,exec)/$(b,dist) $(b,--metrics) \
+             (readable while the run is still going: the writer replaces the \
+             file atomically).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render the latest snapshot once and exit (CI-friendly).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~doc:"Refresh period in seconds." ~docv:"S")
+  in
+  let sample_value = function
+    | Metrics.Counter v | Metrics.Gauge v -> v
+    | Metrics.Hist _ -> 0.
+  in
+  let render (series : Metrics.snapshot list) =
+    let buf = Buffer.create 2048 in
+    (match List.rev series with
+    | [] -> Buffer.add_string buf "no snapshots yet\n"
+    | last :: older ->
+        let prev = match older with p :: _ -> Some p | [] -> None in
+        (* rates come from the last sampling interval when there is
+           one, else from the whole run *)
+        let dt_ns =
+          float_of_int
+            (match prev with
+            | Some p -> max 1 (last.Metrics.taken_ns - p.Metrics.taken_ns)
+            | None -> max 1 last.Metrics.elapsed_ns)
+        in
+        let get snap name labels =
+          match Metrics.find ~labels snap name with
+          | Some s -> sample_value s.Metrics.s_value
+          | None -> 0.
+        in
+        let dget name labels =
+          let cur = get last name labels in
+          match prev with Some p -> cur -. get p name labels | None -> cur
+        in
+        let tot name = Metrics.total last name in
+        let dtot name =
+          match prev with
+          | Some p -> tot name -. Metrics.total p name
+          | None -> tot name
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%d snapshot(s), %.1f s elapsed\n"
+             (List.length series)
+             (float_of_int last.Metrics.elapsed_ns /. 1e9));
+        (* one row per worker, keyed by the busy-time counter's exact
+           label set (carries a pe label too in a merged dist view) *)
+        let workers =
+          List.filter
+            (fun (s : Metrics.sample) ->
+              s.Metrics.s_name = "repro_pool_busy_ns_total")
+            last.Metrics.samples
+        in
+        if workers <> [] then begin
+          let t =
+            Repro_util.Tablefmt.create
+              ~aligns:
+                Repro_util.Tablefmt.
+                  [ Left; Right; Right; Right; Right; Right; Right ]
+              [
+                "worker"; "busy"; "sparks run"; "steals"; "attempts"; "parks";
+                "queue";
+              ]
+          in
+          List.iter
+            (fun (w : Metrics.sample) ->
+              let labels = w.Metrics.s_labels in
+              let name =
+                let part k =
+                  Option.map (fun v -> k ^ v) (List.assoc_opt k labels)
+                in
+                String.concat "/"
+                  (List.filter_map part [ "pe"; "worker" ]
+                  |> function [] -> [ "?" ] | l -> l)
+              in
+              Repro_util.Tablefmt.add_row t
+                [
+                  name;
+                  Printf.sprintf "%.0f%%"
+                    (100. *. dget "repro_pool_busy_ns_total" labels /. dt_ns);
+                  Printf.sprintf "%.0f"
+                    (get last "repro_pool_sparks_run_total" labels);
+                  Printf.sprintf "%.0f" (get last "repro_steals_total" labels);
+                  Printf.sprintf "%.0f"
+                    (get last "repro_steal_attempts_total" labels);
+                  Printf.sprintf "%.0f"
+                    (get last "repro_pool_parks_total" labels);
+                  Printf.sprintf "%.0f"
+                    (get last "repro_pool_queue_depth" labels);
+                ])
+            workers;
+          Buffer.add_string buf (Repro_util.Tablefmt.to_string t)
+        end
+        else Buffer.add_string buf "(no pool workers in this snapshot)\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "steals: %.0f/s  gc: %.0f minor/s %.0f major/s  heap %.1f MW\n"
+             (dtot "repro_steals_total" *. 1e9 /. dt_ns)
+             (dtot "repro_gc_minor_collections" *. 1e9 /. dt_ns)
+             (dtot "repro_gc_major_collections" *. 1e9 /. dt_ns)
+             (tot "repro_gc_heap_words" /. 1e6));
+        Buffer.add_string buf
+          (Printf.sprintf
+             "wire: %.0f msgs %.0f KiB  ring: %.0f backpressure waits %.0f \
+              doorbells  errors: %.0f  tracer drops: %.0f\n"
+             (tot "repro_wire_msgs_sent_total")
+             (tot "repro_wire_bytes_sent_total" /. 1024.)
+             (tot "repro_ring_backpressure_waits_total")
+             (tot "repro_ring_doorbell_rings_total")
+             (tot "repro_wire_errors_total")
+             (tot "repro_tracer_dropped_events_total"
+             +. tot "repro_tracer_lost_runtime_events_total")));
+    Buffer.contents buf
+  in
+  let run file once interval out =
+    let read () =
+      match Repro_util.Json_in.of_file file with
+      | j -> ( try Some (MExport.series_of_json j) with _ -> None)
+      | exception _ -> None
+    in
+    if once then
+      match read () with
+      | Some series -> emit out (render series)
+      | None ->
+          Printf.eprintf "repro-cli: top: cannot read a metrics series from %s\n"
+            file;
+          exit 2
+    else
+      (* follow mode: redraw until interrupted *)
+      while true do
+        (match read () with
+        | Some series ->
+            print_string "\027[2J\027[H";
+            print_string (render series);
+            flush stdout
+        | None -> ());
+        Unix.sleepf (Float.max 0.1 interval)
+      done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running (or finished) $(b,--metrics) series: \
+          per-worker utilization, steal rate, queue depth, GC pressure and \
+          ring backpressure, refreshed in place ($(b,--once) for a single \
+          CI-friendly render)")
+    Term.(const run $ file $ once $ interval $ out_file)
+
+(* ---------------- metrics-check ---------------- *)
+
+let metrics_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.om"
+          ~doc:"OpenMetrics text file written by $(b,--metrics-om).")
+  in
+  let run file out =
+    let ic = open_in_bin file in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match MExport.validate_openmetrics s with
+    | Ok () ->
+        emit out
+          (Printf.sprintf "%s: valid OpenMetrics text (%d lines)\n" file
+             (List.length (String.split_on_char '\n' s) - 1))
+    | Error msg ->
+        Printf.eprintf "repro-cli: metrics-check: %s: %s\n" file msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "metrics-check"
+       ~doc:
+         "Structurally validate an OpenMetrics text file (families declared \
+          before samples, correct suffixes, parseable numbers, final # EOF); \
+          exits 1 on the first violation")
+    Term.(const run $ file $ out_file)
+
 (* ---------------- all ---------------- *)
 
 let all_cmd =
@@ -920,6 +1307,8 @@ let main =
       profile_cmd;
       analyze_cmd;
       check_cmd;
+      top_cmd;
+      metrics_check_cmd;
       all_cmd;
     ]
 

@@ -376,6 +376,109 @@ let atomics_discipline =
     kind = File check;
   }
 
+(* ================ rule: metrics-discipline ================ *)
+
+(* A module-level [let hits = ref 0] or [let hits = A.make 0] is an
+   ad-hoc tally: invisible to [Repro_metrics] snapshots, exporters,
+   the merged dist view and the health detectors, and (for the plain
+   ref) racy the moment two domains touch it.  Instance-local counters
+   are fine — only {e top-level} bindings initialised from an integer
+   literal are flagged, because those are process-lifetime tallies by
+   construction.  lib/metrics itself implements the registry; lib/shim
+   and lib/check sit below it. *)
+
+let metrics_discipline =
+  let id = "metrics-discipline" in
+  let severity = Finding.Warning in
+  let hint =
+    "register the tally in the Repro_metrics registry (counter/gauge) so it \
+     shows up in snapshots, exporters and health detectors"
+  in
+  let check ~file str =
+    let acc = ref [] in
+    let emit loc msg =
+      acc := mk ~rule:id ~severity ~hint ~file loc msg :: !acc
+    in
+    (* alias pass: any [module A = ...Tatomic...] (the sanctioned shim
+       spelling) or [module A = Atomic] makes [A.make 0] a tally too *)
+    let aliases = ref (SSet.singleton "Atomic") in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        module_binding =
+          (fun self mb ->
+            (match (mb.pmb_expr.pmod_desc, mb.pmb_name.txt) with
+            | Pmod_ident { txt; _ }, Some n ->
+                let parts = strip_stdlib (lid_parts txt) in
+                if List.mem "Tatomic" parts || parts = [ "Atomic" ] then
+                  aliases := SSet.add n !aliases
+            | _ -> ());
+            Ast_iterator.default_iterator.module_binding self mb);
+      }
+    in
+    it.structure it str;
+    let is_int_literal e =
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_integer _) -> true
+      | _ -> false
+    in
+    let check_binding vb =
+      match vb.pvb_expr.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, arg) ])
+        when is_int_literal arg -> (
+          match strip_stdlib (lid_parts txt) with
+          | [ "ref" ] ->
+              emit vb.pvb_loc
+                "module-level int ref tally: unshared with the metrics \
+                 registry and racy across domains"
+          | head :: _ :: _ as parts
+            when List.rev parts |> List.hd = "make"
+                 && (SSet.mem head !aliases || List.mem "Tatomic" parts) ->
+              emit vb.pvb_loc
+                (Printf.sprintf
+                   "module-level atomic tally (%s): counted nowhere the \
+                    metrics registry can see"
+                   (dotted parts))
+          | _ -> ())
+      | _ -> ()
+    in
+    (* only module-level items (including nested top-level modules):
+       bindings inside functions are per-instance state, not tallies *)
+    let rec check_items items =
+      List.iter
+        (fun si ->
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) -> List.iter check_binding vbs
+          | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ }
+            ->
+              check_items s
+          | Pstr_recmodule mbs ->
+              List.iter
+                (fun mb ->
+                  match mb.pmb_expr.pmod_desc with
+                  | Pmod_structure s -> check_items s
+                  | _ -> ())
+                mbs
+          | _ -> ())
+        items
+    in
+    check_items str;
+    !acc
+  in
+  {
+    id;
+    severity;
+    doc =
+      "module-level int ref / Atomic tallies outside lib/metrics bypass the \
+       metrics registry (snapshots, exporters, health detectors)";
+    hint;
+    exempt =
+      (fun p ->
+        path_has "lib/metrics/" p || path_has "lib/shim/" p
+        || path_has "lib/check/" p);
+    kind = File check;
+  }
+
 (* ================ rule 3: blocking-in-worker (linked) ================ *)
 
 (* A pool worker that blocks the OS thread starves every spark behind
@@ -854,6 +957,7 @@ let all =
   [
     spark_purity;
     atomics_discipline;
+    metrics_discipline;
     blocking_in_worker;
     discarded_future;
     unjoined_domain;

@@ -77,6 +77,10 @@ type outcome = {
   coord_unpack_ns : int;  (** result payload unmarshalling *)
   work_ns : int;  (** first dispatch to final [step]; excludes spawn *)
   spawn_ns : int;  (** process creation + handshakes *)
+  merged_metrics : Repro_metrics.Metrics.snapshot;
+      (** every PE's piggybacked registry snapshot (relabeled [pe=N])
+          merged into the coordinator's own (relabeled [pe=coord]) —
+          the farm-wide live view *)
 }
 
 (** How many tasks each PE is primed with before demand scheduling
@@ -415,6 +419,15 @@ let run ?worker_argv ?packet_bytes ?transport ?ring_bytes ?(trace = false)
   let stolen =
     Array.fold_left (fun a r -> a + r.stats.Message.tasks_stolen) 0 reports
   in
+  let merged_metrics =
+    let module M = Repro_metrics.Metrics in
+    Array.fold_left
+      (fun acc r ->
+        M.merge acc
+          (M.relabel ("pe", string_of_int r.rep_pe) r.stats.Message.metrics))
+      (M.relabel ("pe", "coord") (M.snapshot ()))
+      reports
+  in
   {
     result;
     procs;
@@ -430,6 +443,7 @@ let run ?worker_argv ?packet_bytes ?transport ?ring_bytes ?(trace = false)
     coord_unpack_ns = !coord_unpack_ns;
     work_ns;
     spawn_ns;
+    merged_metrics;
   }
 
 let farm ?worker_argv ?packet_bytes ?transport ~procs (fs : (unit -> 'a) list) :

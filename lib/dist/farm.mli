@@ -48,6 +48,10 @@ type outcome = {
   coord_unpack_ns : int;  (** result payload unmarshalling *)
   work_ns : int;  (** first dispatch to final [step]; excludes spawn *)
   spawn_ns : int;  (** process creation + handshakes *)
+  merged_metrics : Repro_metrics.Metrics.snapshot;
+      (** every PE's piggybacked registry snapshot (relabeled [pe=N])
+          merged into the coordinator's own (relabeled [pe=coord]) —
+          the farm-wide live view, one registry across all processes *)
 }
 
 (** Tasks each PE is primed with before demand scheduling takes over

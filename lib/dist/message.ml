@@ -92,6 +92,10 @@ type worker_stats = {
   gc_promoted_words : float;
   spans : task_span list;
   spans_dropped : int;
+  metrics : Repro_metrics.Metrics.snapshot;
+      (** the PE's full registry snapshot, piggybacked on the Stats
+          reply so the coordinator can hold a merged live view of the
+          whole farm (snapshots are plain data, Marshal-safe) *)
 }
 
 type to_coordinator =

@@ -192,6 +192,8 @@ type conn = {
           result) *)
   mutable peer_gone : bool;  (** doorbell EOF seen while draining *)
   scratch : Bytes.t;  (** doorbell token buffer *)
+  mutable mtoken : Repro_metrics.Metrics.collector option;
+      (** per-link metrics collector *)
 }
 
 let counters c = c.counters
@@ -269,21 +271,28 @@ let attach ~path ~side ?doorbell () =
   in
   let r0 = ring 0 and r1 = ring 1 in
   let out_ring, in_ring = match side with `A -> (r0, r1) | `B -> (r1, r0) in
+  let counters = Wire.fresh_counters () in
   {
     out_ring;
     in_ring;
     doorbell;
     fence = Tatomic.Fence.create ();
-    counters = Wire.fresh_counters ();
+    counters;
     frame_bytes = max 8 (align8 (min (32 * 1024) (cap / 4)));
     on_wait = None;
     peer_gone = false;
     scratch = Bytes.create 64;
+    mtoken = Some (Wire.add_link_collector ~transport:"shm" counters);
   }
 
 let peer_gone c = c.peer_gone
 
 let close c =
+  (match c.mtoken with
+  | Some tok ->
+      c.mtoken <- None;
+      Repro_metrics.Metrics.remove_collector tok
+  | None -> ());
   match c.doorbell with
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ()
@@ -292,14 +301,31 @@ let close c =
 
 let micro_sleep () = ignore (Unix.select [] [] [] 50e-6)
 
+(* Ring observability in the default metrics registry: how often a
+   producer found its out-ring full (backpressure) and how often a
+   doorbell syscall was actually paid.  Lazy so registration (which
+   takes the registry mutex) happens once, off the hot loop. *)
+module M = Repro_metrics.Metrics
+
+let backpressure_waits =
+  lazy
+    (M.counter ~help:"Producer waits on a full shm ring"
+       "repro_ring_backpressure_waits_total")
+
+let doorbell_rings =
+  lazy
+    (M.counter ~help:"Doorbell wake syscalls paid by shm producers"
+       "repro_ring_doorbell_rings_total")
+
 let ring_doorbell c =
   match c.doorbell with
   | None -> ()
   | Some fd -> (
+      M.incr (Lazy.force doorbell_rings);
       Bytes.set c.scratch 0 '!';
       try ignore (Unix.write fd c.scratch 0 1) with
       | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-          raise (Wire.Dead_peer "peer closed the doorbell during send"))
+          Wire.raise_dead_peer "peer closed the doorbell during send")
 
 (* Claim [total] contiguous data bytes (spinning via [on_wait] /
    microsleep while the ring is full), write the frame, publish it,
@@ -317,6 +343,7 @@ let write_frame c ~kind ~last ~len ~payload_bytes ~write =
   while tail + need - r.peer_head > r.cap do
     r.peer_head <- Mapped_word.load r.head_w;
     if tail + need - r.peer_head > r.cap then begin
+      M.incr (Lazy.force backpressure_waits);
       match c.on_wait with Some f -> f () | None -> micro_sleep ()
     end
   done;
@@ -443,7 +470,7 @@ let wait_input c ~mid =
     done;
     while not (available c) do
       if c.peer_gone then
-        if mid then raise (Wire.Truncated "peer closed mid-message (shm ring)")
+        if mid then Wire.raise_truncated "peer closed mid-message (shm ring)"
         else raise End_of_file;
       match c.doorbell with
       | None -> micro_sleep ()
@@ -501,7 +528,7 @@ let recv c =
   let rec go ~mid =
     let h = next_header c ~mid in
     if header_kind h <> kind_bytes then
-      raise (Wire.Protocol_error "floats frame where a byte message was expected");
+      Wire.raise_protocol "floats frame where a byte message was expected";
     let len = header_len h in
     let off = (r.head_local mod r.cap) + word in
     for i = 0 to len - 1 do
@@ -531,13 +558,12 @@ let recv_floats c ~len:total =
   while not !finished do
     let h = next_header c ~mid:(!nfr > 0) in
     if header_kind h <> kind_floats then
-      raise (Wire.Protocol_error "byte frame where a floats message was expected");
+      Wire.raise_protocol "byte frame where a floats message was expected";
     let n = header_len h in
     if !got + n > total then
-      raise
-        (Wire.Protocol_error
-           (Printf.sprintf "floats message longer than announced (%d > %d)"
-              (!got + n) total));
+      Wire.raise_protocol
+        (Printf.sprintf "floats message longer than announced (%d > %d)"
+           (!got + n) total);
     let base = ((r.head_local mod r.cap) + word) / 8 in
     for i = 0 to n - 1 do
       Array.unsafe_set arr (!got + i) (A1.get r.data_floats (base + i))
@@ -548,10 +574,9 @@ let recv_floats c ~len:total =
     if header_last h then finished := true
   done;
   if !got <> total then
-    raise
-      (Wire.Protocol_error
-         (Printf.sprintf "floats message shorter than announced (%d < %d)" !got
-            total));
+    Wire.raise_protocol
+      (Printf.sprintf "floats message shorter than announced (%d < %d)" !got
+         total);
   let bytes = total * 8 in
   c.counters.Wire.msgs_recv <- c.counters.Wire.msgs_recv + 1;
   c.counters.Wire.packets_recv <- c.counters.Wire.packets_recv + !nfr;

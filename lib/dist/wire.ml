@@ -25,6 +25,34 @@ exception Truncated of string
 exception Dead_peer of string
 exception Protocol_error of string
 
+module M = Repro_metrics.Metrics
+
+(* Transport errors are counted in the default registry before they
+   are raised, so a snapshot shows them even when the raise is caught
+   and retried/absorbed upstream.  Lazy: registration takes the
+   registry mutex, raise sites must not. *)
+let error_counter kind =
+  lazy
+    (M.counter ~help:"Transport errors by kind"
+       ~labels:[ ("kind", kind) ]
+       "repro_wire_errors_total")
+
+let truncated_errors = error_counter "truncated"
+let dead_peer_errors = error_counter "dead_peer"
+let protocol_errors = error_counter "protocol"
+
+let raise_truncated msg =
+  M.incr (Lazy.force truncated_errors);
+  raise (Truncated msg)
+
+let raise_dead_peer msg =
+  M.incr (Lazy.force dead_peer_errors);
+  raise (Dead_peer msg)
+
+let raise_protocol msg =
+  M.incr (Lazy.force protocol_errors);
+  raise (Protocol_error msg)
+
 let header_bytes = 5
 let default_packet_bytes = 32 * 1024
 
@@ -71,6 +99,40 @@ let fresh_counters () =
     unpack_ns = 0;
   }
 
+(* Per-link counter samples ([Shm_ring] reuses this for its conns). *)
+let samples_of_counters ~labels (k : counters) =
+  let c name help v = M.c_sample ~help ~labels name (float_of_int v) in
+  [
+    c "repro_wire_msgs_sent_total" "Messages sent on this link" k.msgs_sent;
+    c "repro_wire_msgs_recv_total" "Messages received on this link" k.msgs_recv;
+    c "repro_wire_bytes_sent_total" "On-wire bytes sent, framing included"
+      k.bytes_sent;
+    c "repro_wire_bytes_recv_total" "On-wire bytes received, framing included"
+      k.bytes_recv;
+    c "repro_wire_packets_sent_total" "Packets sent" k.packets_sent;
+    c "repro_wire_packets_recv_total" "Packets received" k.packets_recv;
+    c "repro_wire_payload_bytes_sent_total" "Payload bytes sent (no framing)"
+      k.payload_bytes_sent;
+    c "repro_wire_payload_bytes_recv_total" "Payload bytes received (no framing)"
+      k.payload_bytes_recv;
+    c "repro_wire_zero_copy_bytes_sent_total"
+      "Payload bytes sent without an intermediate copy" k.zero_copy_bytes_sent;
+    c "repro_wire_zero_copy_bytes_recv_total"
+      "Payload bytes received without an intermediate copy" k.zero_copy_bytes_recv;
+    c "repro_wire_pack_ns_total" "Serialisation time" k.pack_ns;
+    c "repro_wire_unpack_ns_total" "Deserialisation time" k.unpack_ns;
+  ]
+
+(* Register a link's counters as a default-registry collector; the
+   returned token must be removed at close (which retires the final
+   totals into the registry). *)
+let add_link_collector ~transport k =
+  let labels =
+    [ ("link", string_of_int (M.next_id ())); ("transport", transport) ]
+  in
+  M.add_collector ~name:("wire-" ^ transport) (fun () ->
+      samples_of_counters ~labels k)
+
 (** What {!Message} and {!Farm} need from a point-to-point transport.
     Extracted from the socketpair code below (which implements it as
     {!Sock}); [Shm_ring] is the second implementation — a pair of
@@ -104,6 +166,7 @@ type conn = {
   counters : counters;
   header : Bytes.t;  (** scratch for one packet header *)
   out : Bytes.t;  (** scratch for one whole outgoing packet *)
+  mutable mtoken : M.collector option;  (** per-link metrics collector *)
 }
 
 (* A worker whose coordinator died mid-send must see EPIPE as an
@@ -118,13 +181,15 @@ let create ?(packet_bytes = default_packet_bytes) ~read_fd ~write_fd () =
   if packet_bytes < 1 then
     invalid_arg "Wire.create: packet_bytes must be >= 1";
   Lazy.force ignore_sigpipe;
+  let counters = fresh_counters () in
   {
     read_fd;
     write_fd;
     packet_bytes;
-    counters = fresh_counters ();
+    counters;
     header = Bytes.create header_bytes;
     out = Bytes.create (header_bytes + packet_bytes);
+    mtoken = Some (add_link_collector ~transport:"sock" counters);
   }
 
 let counters c = c.counters
@@ -155,10 +220,9 @@ let get_header s ~pos =
   let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
   let flags = b 4 in
   if flags land lnot (flag_last lor flag_floats) <> 0 then
-    raise (Protocol_error (Printf.sprintf "unknown packet flags 0x%02x" flags));
+    raise_protocol (Printf.sprintf "unknown packet flags 0x%02x" flags);
   if len > max_chunk_bytes then
-    raise
-      (Protocol_error (Printf.sprintf "oversized packet chunk (%d bytes)" len));
+    raise_protocol (Printf.sprintf "oversized packet chunk (%d bytes)" len);
   (len, flags land flag_last <> 0, flags land flag_floats <> 0)
 
 let packets_of_len ~packet_bytes len =
@@ -185,12 +249,12 @@ let decode s ~pos =
   let buf = Buffer.create 256 in
   let rec packet pos =
     if pos + header_bytes > n then
-      raise (Truncated "input ends inside a packet header");
+      raise_truncated "input ends inside a packet header";
     let len, last, floats = get_header s ~pos in
     if floats then
-      raise (Protocol_error "floats packet inside a byte-message stream");
+      raise_protocol "floats packet inside a byte-message stream";
     if pos + header_bytes + len > n then
-      raise (Truncated "input ends inside a packet chunk");
+      raise_truncated "input ends inside a packet chunk";
     Buffer.add_substring buf s (pos + header_bytes) len;
     let pos = pos + header_bytes + len in
     if last then (Buffer.contents buf, pos) else packet pos
@@ -204,7 +268,7 @@ let rec write_all fd b pos len =
     let n =
       try Unix.write fd b pos len with
       | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-          raise (Dead_peer "peer closed the connection during send")
+          raise_dead_peer "peer closed the connection during send"
     in
     write_all fd b (pos + n) (len - n)
   end
@@ -220,7 +284,7 @@ let read_exact fd b pos len ~what =
       | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
     in
     if n = 0 then
-      raise (Truncated (Printf.sprintf "peer closed mid-frame (reading %s)" what));
+      raise_truncated (Printf.sprintf "peer closed mid-frame (reading %s)" what);
     got := !got + n
   done
 
@@ -254,7 +318,7 @@ let read_first_header c =
     in
     if n = 0 then
       if !got = 0 then raise End_of_file
-      else raise (Truncated "peer closed mid-frame (reading packet header)");
+      else raise_truncated "peer closed mid-frame (reading packet header)";
     got := !got + n
   done
 
@@ -268,7 +332,7 @@ let recv c =
     incr npk;
     let len, last, floats = get_header (Bytes.unsafe_to_string c.header) ~pos:0 in
     if floats then
-      raise (Protocol_error "floats packet where a byte message was expected");
+      raise_protocol "floats packet where a byte message was expected";
     let chunk = Bytes.create len in
     read_exact c.read_fd chunk 0 len ~what:"packet chunk";
     Buffer.add_bytes buf chunk;
@@ -331,7 +395,7 @@ let recv_floats c ~len:total =
       get_header (Bytes.unsafe_to_string c.header) ~pos:0
     in
     if not floats then
-      raise (Protocol_error "byte packet where a floats message was expected");
+      raise_protocol "byte packet where a floats message was expected";
     if len mod 8 <> 0 then
       raise
         (Protocol_error
@@ -369,6 +433,11 @@ let input_ready c =
   | _ -> true
 
 let close c =
+  (match c.mtoken with
+  | Some tok ->
+      c.mtoken <- None;
+      M.remove_collector tok
+  | None -> ());
   (try Unix.close c.read_fd with Unix.Unix_error _ -> ());
   if c.write_fd <> c.read_fd then
     try Unix.close c.write_fd with Unix.Unix_error _ -> ()

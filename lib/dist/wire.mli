@@ -17,6 +17,16 @@ exception Dead_peer of string
 (** Malformed stream: unknown flags or an absurd chunk length. *)
 exception Protocol_error of string
 
+(** Raise the corresponding exception after bumping its
+    [repro_wire_errors_total{kind=...}] counter in the default metrics
+    registry — every transport raise site (here and in [Shm_ring])
+    goes through these, so transport errors are visible in snapshots
+    even when caught upstream. *)
+val raise_truncated : string -> 'a
+
+val raise_dead_peer : string -> 'a
+val raise_protocol : string -> 'a
+
 val header_bytes : int
 val default_packet_bytes : int
 
@@ -40,6 +50,17 @@ type counters = {
 }
 
 val fresh_counters : unit -> counters
+
+(** One [repro_wire_*] counter sample per field, under [labels]. *)
+val samples_of_counters :
+  labels:(string * string) list -> counters -> Repro_metrics.Metrics.sample list
+
+(** Register [counters] as a per-link collector in the default metrics
+    registry (labels: a fresh [link] id plus [transport]).  Remove the
+    token at close — removal retires the final totals, so closed links
+    stay in cumulative snapshots. *)
+val add_link_collector :
+  transport:string -> counters -> Repro_metrics.Metrics.collector
 
 (** The transport abstraction {!Message} and [Farm] are written
     against: byte messages (Marshal control plane), float messages

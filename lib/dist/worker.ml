@@ -212,6 +212,10 @@ let stats_of_session s ~(links : Link.t list) : Message.worker_stats =
     gc_promoted_words = gc1.promoted_words -. s.gc0.promoted_words;
     spans = List.rev s.spans;
     spans_dropped = s.spans_dropped;
+    (* the whole default registry, not a hand-picked subset: whatever
+       collectors the PE process registered (link counters, wire
+       errors, GC) travel to the coordinator in one snapshot *)
+    metrics = Repro_metrics.Metrics.snapshot ();
   }
 
 (* ---------------- sock loop (star topology) ---------------- *)

@@ -69,6 +69,15 @@ let env_header ?(backend = "domains") ?transport () : (string * Json.t) list =
     repeats disagree on the result checksum. *)
 let measure ?(repeats = 3) ~cores ~size (module W : Workload.S) =
   let repeats = max 1 repeats in
+  (* Per-repeat run durations also land in the default metrics
+     registry, so live snapshots ([--metrics], [top]) can report
+     latency quantiles without waiting for the measurement row. *)
+  let duration_hist =
+    Repro_metrics.Metrics.histogram
+      ~help:"Timed workload repeat duration"
+      ~labels:[ ("workload", W.name); ("cores", string_of_int cores) ]
+      "repro_run_duration_ns"
+  in
   Pool.with_pool ~cores (fun () ->
       ignore (W.run ~size ());
       (* warm-up *)
@@ -79,6 +88,7 @@ let measure ?(repeats = 3) ~cores ~size (module W : Workload.S) =
         let t0 = now_ns () in
         let r = W.run ~size () in
         let dt = now_ns () -. t0 in
+        Repro_metrics.Metrics.observe duration_hist (int_of_float dt);
         Stats.add stats dt;
         if i = 1 then result := r
         else if r <> !result then

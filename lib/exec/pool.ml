@@ -84,13 +84,16 @@ end
 
 module Make (A : Repro_shim.Tatomic.S) = struct
   module Ws_deque = Repro_deque.Ws_deque.Make (A)
+  module M = Repro_metrics.Metrics
 
   type task = unit -> unit
 
   (* Per-worker counters: each cell is written by exactly one domain in
      the steady state (the owner for pushes/steals/parks, the running
      worker for run/fizzle notes), so the atomic increments are
-     uncontended; [events] sums them. *)
+     uncontended; [events] sums them.  A metrics collector registered
+     at {!create} exposes them (plus live queue depth) per worker in
+     registry snapshots, so they cost nothing extra on the hot path. *)
   type counters = {
     created : int A.t;
     run : int A.t;
@@ -99,6 +102,8 @@ module Make (A : Repro_shim.Tatomic.S) = struct
     steals : int A.t;
     parks : int A.t;
     wakeups : int A.t;
+    forces : int A.t;  (** force demands seen by this worker *)
+    busy_ns : int A.t;  (** wall time spent inside tasks (metrics-gated) *)
   }
 
   let counters_create () =
@@ -110,6 +115,8 @@ module Make (A : Repro_shim.Tatomic.S) = struct
       steals = A.make 0;
       parks = A.make 0;
       wakeups = A.make 0;
+      forces = A.make 0;
+      busy_ns = A.make 0;
     }
 
   type worker = {
@@ -125,6 +132,7 @@ module Make (A : Repro_shim.Tatomic.S) = struct
 
   type t = {
     workers : worker array;
+    mutable mtoken : M.collector option;  (* default-registry collector *)
     mutable domains : unit Domain.t list;  (* helper domains, workers 1.. *)
     stop : bool A.t;
     sleepers : int A.t;
@@ -166,7 +174,9 @@ module Make (A : Repro_shim.Tatomic.S) = struct
   let note_eval_end ((_, w) : ctx) =
     Tracer.record w.tbuf Tracer.Eval_end ~arg:0
 
-  let note_force ((_, w) : ctx) = Tracer.record w.tbuf Tracer.Force ~arg:0
+  let note_force ((_, w) : ctx) =
+    A.incr w.counters.forces;
+    Tracer.record w.tbuf Tracer.Force ~arg:0
 
   let events_of_counters c : events =
     {
@@ -195,6 +205,38 @@ module Make (A : Repro_shim.Tatomic.S) = struct
       parks = sum (fun c -> c.parks);
       wakeups = sum (fun c -> c.wakeups);
     }
+
+  (* Collector callback: per-worker counter samples for the default
+     metrics registry.  Reads are racy-but-atomic snapshots, same
+     guarantee as {!events}. *)
+  let metrics_samples t =
+    Array.fold_left
+      (fun acc w ->
+        let labels = [ ("worker", string_of_int w.id) ] in
+        let c name help cell =
+          M.c_sample ~help ~labels name (float_of_int (A.get cell))
+        in
+        c "repro_pool_sparks_created_total" "Runner tasks pushed onto a deque"
+          w.counters.created
+        :: c "repro_pool_sparks_run_total"
+             "Runners that performed their future's evaluation" w.counters.run
+        :: c "repro_pool_sparks_fizzled_total"
+             "Runners that found their future already claimed" w.counters.fizzled
+        :: c "repro_steal_attempts_total" "Individual Ws_deque.steal calls"
+             w.counters.steal_attempts
+        :: c "repro_steals_total" "Successful steals" w.counters.steals
+        :: c "repro_pool_parks_total" "Times this worker parked" w.counters.parks
+        :: c "repro_pool_wakeups_total" "Broadcasts issued for a sleeper"
+             w.counters.wakeups
+        :: c "repro_future_forces_total" "Force demands seen by this worker"
+             w.counters.forces
+        :: c "repro_pool_busy_ns_total" "Wall time spent inside tasks"
+             w.counters.busy_ns
+        :: M.g_sample ~labels ~help:"Tasks currently queued in this worker's deque"
+             "repro_pool_queue_depth"
+             (float_of_int (Ws_deque.size w.deque))
+        :: acc)
+      [] t.workers
 
   let has_work t =
     let n = Array.length t.workers in
@@ -278,7 +320,14 @@ module Make (A : Repro_shim.Tatomic.S) = struct
      visible in traces. *)
   let run_task (w : worker) task =
     Tracer.record w.tbuf Tracer.Task_begin ~arg:0;
-    (try task () with _ -> ());
+    (* Busy-time accounting pays its two clock reads per *task* (not
+       per record), and only while the default registry is enabled. *)
+    if M.enabled M.default then begin
+      let t0 = M.now_ns () in
+      (try task () with _ -> ());
+      ignore (A.fetch_and_add w.counters.busy_ns (M.now_ns () - t0))
+    end
+    else (try task () with _ -> ());
     Tracer.record w.tbuf Tracer.Task_end ~arg:0
 
   (* Run one pending task if any is available.  Used both by the worker
@@ -364,6 +413,7 @@ module Make (A : Repro_shim.Tatomic.S) = struct
     let t =
       {
         workers;
+        mtoken = None;
         domains = [];
         stop = A.make false;
         sleepers = A.make 0;
@@ -372,6 +422,7 @@ module Make (A : Repro_shim.Tatomic.S) = struct
         wake = Condition.create ();
       }
     in
+    t.mtoken <- Some (M.add_collector ~name:"pool" (fun () -> metrics_samples t));
     t.domains <-
       List.init (ncores - 1) (fun i ->
           Domain.spawn (fun () -> worker_main t t.workers.(i + 1)));
@@ -410,7 +461,15 @@ module Make (A : Repro_shim.Tatomic.S) = struct
     (* Helpers are joined: any runner still sitting in a deque will
        never execute — account it as fizzled so the spark ledger
        balances ([sparks_created = sparks_run + sparks_fizzled]). *)
-    Array.iter discard_leftovers t.workers
+    Array.iter discard_leftovers t.workers;
+    (* Retire the metrics collector last so the flushed totals include
+       the leftover-fizzle accounting above; cumulative per-worker
+       counters survive this pool in the default registry. *)
+    match t.mtoken with
+    | Some tok ->
+        t.mtoken <- None;
+        M.remove_collector tok
+    | None -> ()
 
   let with_pool ?cores ?tracer f =
     let t = create ?cores ?tracer () in

@@ -198,6 +198,27 @@ let dropped t =
 let recorded t =
   Array.fold_left (fun acc b -> acc + min b.head (b.mask + 1)) 0 t.buffers
 
+let t0_ns t = t.t0
+
+(* Ring-drop accounting as registry samples, so trace-buffer overruns
+   are visible in metric snapshots (not only in exported eventlogs).
+   Pull-based: a tracer has no destroy lifecycle, so the CLI registers
+   this as a collector for the duration of a traced run. *)
+let metrics_samples t =
+  let module M = Repro_metrics.Metrics in
+  M.c_sample ~help:"Runtime events lost by the Runtime_events ring"
+    "repro_tracer_lost_runtime_events_total"
+    (float_of_int t.gc_lost)
+  :: Array.to_list
+       (Array.mapi
+          (fun worker b ->
+            M.c_sample
+              ~labels:[ ("worker", string_of_int worker) ]
+              ~help:"Trace events overwritten by ring wrap-around"
+              "repro_tracer_dropped_events_total"
+              (float_of_int (max 0 (b.head - (b.mask + 1)))))
+          t.buffers)
+
 (* Decode one ring slot into the shared event vocabulary. *)
 let decode worker code arg : Eventlog.event =
   match code with

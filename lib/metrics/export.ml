@@ -1,0 +1,275 @@
+module Json = Repro_util.Json_out
+module Json_in = Repro_util.Json_in
+module M = Metrics
+
+(* ---------------- OpenMetrics text ---------------- *)
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labels_str = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label v ^ "\"") labels)
+      ^ "}"
+
+let chop suffix name =
+  if Filename.check_suffix name suffix then
+    Some (String.sub name 0 (String.length name - String.length suffix))
+  else None
+
+let base_name s =
+  match s.M.s_value with
+  | M.Counter _ -> ( match chop "_total" s.M.s_name with Some b -> b | None -> s.M.s_name)
+  | _ -> s.M.s_name
+
+let kind_str = function
+  | M.Counter _ -> "counter"
+  | M.Gauge _ -> "gauge"
+  | M.Hist _ -> "histogram"
+
+let emit_sample buf base s =
+  match s.M.s_value with
+  | M.Counter v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s_total%s %s\n" base (labels_str s.M.s_labels) (fmt_value v))
+  | M.Gauge v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" base (labels_str s.M.s_labels) (fmt_value v))
+  | M.Hist h ->
+      let le v = s.M.s_labels @ [ ("le", v) ] in
+      let cum = ref 0 in
+      List.iter
+        (fun (i, n) ->
+          cum := !cum + n;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" base
+               (labels_str
+                  (le (fmt_value (float_of_int (Hdr.upper_bound ~sub_bits:h.Hdr.sub_bits i)))))
+               !cum))
+        h.Hdr.buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" base (labels_str (le "+Inf")) h.Hdr.count);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" base (labels_str s.M.s_labels)
+           (fmt_value (float_of_int h.Hdr.sum)));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" base (labels_str s.M.s_labels) h.Hdr.count)
+
+let openmetrics snap =
+  (* Group samples into families (same base name) preserving
+     first-appearance order; one HELP/TYPE header per family. *)
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let base = base_name s in
+      match Hashtbl.find_opt tbl base with
+      | None ->
+          Hashtbl.add tbl base (kind_str s.M.s_value, s.M.s_help, ref [ s ]);
+          order := base :: !order
+      | Some (_, _, samples) -> samples := s :: !samples)
+    snap.M.samples;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun base ->
+      let kind, help, samples = Hashtbl.find tbl base in
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base (escape_help help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind);
+      List.iter
+        (fun s -> if kind_str s.M.s_value = kind then emit_sample buf base s)
+        (List.rev !samples))
+    (List.rev !order);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ---------------- format check ---------------- *)
+
+exception Bad of string
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name name =
+  name <> ""
+  && is_name_start name.[0]
+  && String.for_all is_name_char name
+
+let parse_number tok =
+  match tok with
+  | "+Inf" | "Inf" | "-Inf" | "NaN" -> ()
+  | _ -> (
+      match float_of_string_opt tok with
+      | Some _ -> ()
+      | None -> raise (Bad (Printf.sprintf "malformed number %S" tok)))
+
+(* Returns the sample's metric name after checking the full line
+   shape: name, optional {k="v",...} labels, value, optional
+   timestamp. *)
+let parse_sample_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let expect c =
+    if peek () = Some c then incr pos
+    else raise (Bad (Printf.sprintf "expected %C at column %d" c (!pos + 1)))
+  in
+  if n = 0 then raise (Bad "blank line");
+  if not (is_name_start line.[0]) then raise (Bad "sample must start with a metric name");
+  while !pos < n && is_name_char line.[!pos] do incr pos done;
+  let name = String.sub line 0 !pos in
+  (if peek () = Some '{' then begin
+     incr pos;
+     let rec labels () =
+       let k0 = !pos in
+       while !pos < n && is_name_char line.[!pos] && line.[!pos] <> ':' do incr pos done;
+       if !pos = k0 then raise (Bad "empty label name");
+       expect '=';
+       expect '"';
+       let rec value () =
+         match peek () with
+         | None -> raise (Bad "unterminated label value")
+         | Some '"' -> incr pos
+         | Some '\\' ->
+             pos := !pos + 2;
+             value ()
+         | Some _ ->
+             incr pos;
+             value ()
+       in
+       value ();
+       match peek () with
+       | Some ',' ->
+           incr pos;
+           labels ()
+       | Some '}' -> incr pos
+       | _ -> raise (Bad "expected ',' or '}' after label")
+     in
+     labels ()
+   end);
+  expect ' ';
+  let rest = String.sub line !pos (n - !pos) in
+  (match String.split_on_char ' ' rest with
+  | [ v ] -> parse_number v
+  | [ v; ts ] ->
+      parse_number v;
+      parse_number ts
+  | _ -> raise (Bad "trailing tokens after sample value"));
+  name
+
+let om_types =
+  [ "counter"; "gauge"; "histogram"; "summary"; "unknown"; "info"; "stateset"; "gaugehistogram" ]
+
+let validate_openmetrics text =
+  let families = Hashtbl.create 32 in
+  let sample_ok name =
+    let fam base tys =
+      match Hashtbl.find_opt families base with
+      | Some ty -> List.mem ty tys
+      | None -> false
+    in
+    fam name [ "gauge"; "unknown"; "info"; "stateset" ]
+    || (match chop "_total" name with Some b -> fam b [ "counter" ] | None -> false)
+    || (match chop "_bucket" name with
+       | Some b -> fam b [ "histogram"; "gaugehistogram" ]
+       | None -> false)
+    || (match chop "_sum" name with
+       | Some b -> fam b [ "histogram"; "summary" ]
+       | None -> false)
+    || (match chop "_count" name with
+       | Some b -> fam b [ "histogram"; "summary" ]
+       | None -> false)
+    ||
+    match chop "_created" name with Some b -> fam b [ "counter"; "histogram" ] | None -> false
+  in
+  let len = String.length text in
+  if len = 0 || text.[len - 1] <> '\n' then Error "text must end with a newline"
+  else
+    let lines = String.split_on_char '\n' (String.sub text 0 (len - 1)) in
+    let last = List.length lines - 1 in
+    let check i line =
+      if line = "# EOF" then begin
+        if i <> last then raise (Bad "content after # EOF")
+      end
+      else if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; ty ] ->
+            if not (valid_name name) then raise (Bad ("invalid family name " ^ name));
+            if not (List.mem ty om_types) then raise (Bad ("unknown metric type " ^ ty));
+            if Hashtbl.mem families name then raise (Bad ("duplicate TYPE for " ^ name));
+            Hashtbl.add families name ty
+        | "#" :: "HELP" :: name :: _ ->
+            if not (valid_name name) then raise (Bad ("invalid family name " ^ name))
+        | "#" :: "UNIT" :: name :: _ ->
+            if not (valid_name name) then raise (Bad ("invalid family name " ^ name))
+        | _ -> raise (Bad "malformed comment line")
+      end
+      else if String.length line > 0 && line.[0] = '#' then
+        raise (Bad "comment lines must start with '# '")
+      else begin
+        let name = parse_sample_line line in
+        if not (sample_ok name) then
+          raise (Bad ("sample " ^ name ^ " has no matching # TYPE family"))
+      end
+    in
+    try
+      if List.nth lines last <> "# EOF" then Error "missing # EOF terminator"
+      else begin
+        List.iteri
+          (fun i line ->
+            try check i line with Bad m -> raise (Bad (Printf.sprintf "line %d: %s" (i + 1) m)))
+          lines;
+        Ok ()
+      end
+    with Bad m -> Error m
+
+(* ---------------- time-series JSON ---------------- *)
+
+let series_to_json ?(meta = []) snaps =
+  Json.Obj
+    ([ ("schema", Json.Str "repro/metrics-series/v1") ]
+    @ meta
+    @ [ ("snapshots", Json.List (List.map M.snapshot_to_json snaps)) ])
+
+let series_of_json j =
+  match j with
+  | Json.Obj kvs -> (
+      (match List.assoc_opt "schema" kvs with
+      | Some (Json.Str "repro/metrics-series/v1") -> ()
+      | _ -> invalid_arg "Export.series_of_json: bad schema");
+      match Option.bind (Json_in.member "snapshots" j) Json_in.to_list with
+      | Some l -> List.map M.snapshot_of_json l
+      | None -> invalid_arg "Export.series_of_json: missing snapshots")
+  | _ -> invalid_arg "Export.series_of_json: not an object"
+
+let write_series ?meta path snaps =
+  let tmp = path ^ ".tmp" in
+  Json.to_file tmp (series_to_json ?meta snaps);
+  Sys.rename tmp path

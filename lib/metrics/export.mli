@@ -1,0 +1,28 @@
+(** Snapshot exporters: OpenMetrics/Prometheus text and time-series
+    JSON documents built from {!Metrics.snapshot} values. *)
+
+val openmetrics : Metrics.snapshot -> string
+(** OpenMetrics text: [# HELP] / [# TYPE] per metric family, counter
+    samples with the [_total] suffix, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum] / [_count], terminated by
+    [# EOF]. *)
+
+val validate_openmetrics : string -> (unit, string) result
+(** Structural format check: every line is a well-formed comment or
+    sample, every sample belongs to a family declared by a preceding
+    [# TYPE] line with the right suffix for its type, numbers parse,
+    and the text ends with exactly one [# EOF] line.  [Error msg]
+    pinpoints the first offending line. *)
+
+val series_to_json :
+  ?meta:(string * Repro_util.Json_out.t) list ->
+  Metrics.snapshot list ->
+  Repro_util.Json_out.t
+(** Time-series document, schema ["repro/metrics-series/v1"]. *)
+
+val series_of_json : Repro_util.Json_out.t -> Metrics.snapshot list
+(** @raise Invalid_argument on malformed input. *)
+
+val write_series : ?meta:(string * Repro_util.Json_out.t) list -> string -> Metrics.snapshot list -> unit
+(** Atomically (write + rename) writes the series document so live
+    readers ([repro_cli top]) never observe a torn file. *)

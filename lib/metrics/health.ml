@@ -1,0 +1,103 @@
+type config = {
+  steal_min_attempts : float;
+  steal_fail_ratio : float;
+  steal_attempts_per_park : float;
+  fizzle_min_created : float;
+  fizzle_ratio : float;
+  backpressure_min_waits : float;
+  backpressure_per_msg : float;
+  gc_min_elapsed_s : float;
+  gc_minor_per_sec : float;
+  gc_major_per_sec : float;
+}
+
+(* Thresholds are deliberately generous: detectors flag pathological
+   regimes (a storm, a stall), not the high-but-healthy contention any
+   small --quick run exhibits. *)
+let default_config =
+  {
+    steal_min_attempts = 5_000.;
+    steal_fail_ratio = 0.98;
+    steal_attempts_per_park = 512.;
+    fizzle_min_created = 1_024.;
+    fizzle_ratio = 0.95;
+    backpressure_min_waits = 512.;
+    backpressure_per_msg = 4.;
+    gc_min_elapsed_s = 0.05;
+    gc_minor_per_sec = 200_000.;
+    gc_major_per_sec = 2_000.;
+  }
+
+type verdict = { rule : string; triggered : bool; detail : string }
+
+let ratio num den = if den <= 0. then 0. else num /. den
+
+let steal_storm cfg snap =
+  let attempts = Metrics.total snap "repro_steal_attempts_total" in
+  let steals = Metrics.total snap "repro_steals_total" in
+  let parks = Metrics.total snap "repro_pool_parks_total" in
+  let fail = ratio (attempts -. steals) attempts in
+  let per_park = ratio attempts (Float.max 1. parks) in
+  {
+    rule = "steal-failure-storm";
+    triggered =
+      attempts >= cfg.steal_min_attempts
+      && fail > cfg.steal_fail_ratio
+      && per_park > cfg.steal_attempts_per_park;
+    detail =
+      Printf.sprintf "%.0f attempts, %.1f%% failed, %.0f attempts/park" attempts
+        (100. *. fail) per_park;
+  }
+
+let spark_fizzle cfg snap =
+  let created = Metrics.total snap "repro_pool_sparks_created_total" in
+  let fizzled = Metrics.total snap "repro_pool_sparks_fizzled_total" in
+  let r = ratio fizzled created in
+  {
+    rule = "spark-fizzle-ratio";
+    triggered = created >= cfg.fizzle_min_created && r > cfg.fizzle_ratio;
+    detail = Printf.sprintf "%.0f created, %.0f fizzled (%.1f%%)" created fizzled (100. *. r);
+  }
+
+let backpressure_stall cfg snap =
+  let waits = Metrics.total snap "repro_ring_backpressure_waits_total" in
+  let msgs = Metrics.total snap "repro_wire_msgs_sent_total" in
+  let per_msg = ratio waits (Float.max 1. msgs) in
+  {
+    rule = "ring-backpressure-stall";
+    triggered = waits >= cfg.backpressure_min_waits && per_msg > cfg.backpressure_per_msg;
+    detail = Printf.sprintf "%.0f full-ring waits over %.0f sent msgs (%.1f/msg)" waits msgs per_msg;
+  }
+
+let gc_pressure cfg snap =
+  let secs = float_of_int snap.Metrics.elapsed_ns /. 1e9 in
+  let minor = Metrics.total snap "repro_gc_minor_collections" in
+  let major = Metrics.total snap "repro_gc_major_collections" in
+  let minor_rate = ratio minor secs and major_rate = ratio major secs in
+  {
+    rule = "gc-pause-budget";
+    triggered =
+      secs >= cfg.gc_min_elapsed_s
+      && (minor_rate > cfg.gc_minor_per_sec || major_rate > cfg.gc_major_per_sec);
+    detail =
+      Printf.sprintf "%.0f minor/s, %.1f major/s over %.2fs (budget %.0f, %.0f)" minor_rate
+        major_rate secs cfg.gc_minor_per_sec cfg.gc_major_per_sec;
+  }
+
+let evaluate ?(config = default_config) snap =
+  [
+    steal_storm config snap;
+    spark_fizzle config snap;
+    backpressure_stall config snap;
+    gc_pressure config snap;
+  ]
+
+let pp fmt verdicts =
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "health: %-4s %-24s (%s)@."
+        (if v.triggered then "FAIL" else "OK")
+        v.rule v.detail)
+    verdicts
+
+let exit_code verdicts = if List.exists (fun v -> v.triggered) verdicts then 3 else 0

@@ -1,0 +1,57 @@
+module A = Repro_shim.Tatomic.Real
+
+type t = {
+  registry : Metrics.t;
+  interval_s : float;
+  stop_flag : bool A.t;
+  lock : Mutex.t;
+  mutable snaps : Metrics.snapshot list;  (** newest first *)
+  on_sample : Metrics.snapshot list -> unit;
+  mutable dom : unit Domain.t option;
+}
+
+let push t s =
+  Mutex.lock t.lock;
+  t.snaps <- s :: t.snaps;
+  let series = List.rev t.snaps in
+  Mutex.unlock t.lock;
+  try t.on_sample series with _ -> ()
+
+let start ?(registry = Metrics.default) ?(interval_ms = 200) ?(on_sample = fun _ -> ()) () =
+  let t =
+    {
+      registry;
+      interval_s = float_of_int (max 1 interval_ms) /. 1000.;
+      stop_flag = A.make false;
+      lock = Mutex.create ();
+      snaps = [];
+      on_sample;
+      dom = None;
+    }
+  in
+  let rec loop () =
+    if not (A.get t.stop_flag) then begin
+      Unix.sleepf t.interval_s;
+      (* The final snapshot is taken by [stop] itself, after the join,
+         so a tick racing the stop flag is simply skipped. *)
+      if not (A.get t.stop_flag) then begin
+        push t (Metrics.snapshot ~registry ());
+        loop ()
+      end
+    end
+  in
+  t.dom <- Some (Domain.spawn loop);
+  t
+
+let stop t =
+  A.set t.stop_flag true;
+  (match t.dom with
+  | None -> ()
+  | Some d ->
+      Domain.join d;
+      t.dom <- None;
+      push t (Metrics.snapshot ~registry:t.registry ()));
+  Mutex.lock t.lock;
+  let series = List.rev t.snaps in
+  Mutex.unlock t.lock;
+  series

@@ -1,0 +1,19 @@
+(** Periodic snapshot loop on a dedicated observer domain, feeding the
+    [--metrics FILE] time series and the [repro_cli top] live view. *)
+
+type t
+
+val start :
+  ?registry:Metrics.t ->
+  ?interval_ms:int ->
+  ?on_sample:(Metrics.snapshot list -> unit) ->
+  unit ->
+  t
+(** Spawns a domain that snapshots [registry] every [interval_ms]
+    (default 200).  [on_sample] is called from the observer domain
+    after each tick with the series so far, oldest first — the CLI
+    uses it to rewrite the series file so [top] can follow live. *)
+
+val stop : t -> Metrics.snapshot list
+(** Stops and joins the observer domain, takes one final snapshot and
+    returns the full series, oldest first.  Idempotent. *)

@@ -58,7 +58,8 @@ let metadata ~pid ~tid ~name value =
       ("args", Json.Obj [ ("name", Json.Str value) ]);
     ]
 
-let of_eventlog ?(pid = 0) ?(process_name = "repro-exec") ~ncaps log =
+let of_eventlog ?(pid = 0) ?(process_name = "repro-exec") ?(instants = [])
+    ~ncaps log =
   let events = Eventlog.events log in
   let out = ref [] in
   let push j = out := j :: !out in
@@ -126,6 +127,14 @@ let of_eventlog ?(pid = 0) ?(process_name = "repro-exec") ~ncaps log =
                []))
         spans)
     open_spans;
+  (* caller-supplied markers (e.g. periodic metric-snapshot instants)
+     on track 0, with their numeric payload as args *)
+  List.iter
+    (fun (ts_ns, name, args) ->
+      push
+        (instant ~pid ~tid:0 ~name ~cat:"metrics" ~ts_ns
+           (List.map (fun (k, v) -> (k, Json.Float v)) args)))
+    instants;
   let meta =
     metadata ~pid ~tid:0 ~name:"process_name" process_name
     :: List.init (max 1 ncaps) (fun cap ->
@@ -138,5 +147,5 @@ let of_eventlog ?(pid = 0) ?(process_name = "repro-exec") ~ncaps log =
       ("displayTimeUnit", Json.Str "ns");
     ]
 
-let to_file ?pid ?process_name ~ncaps log path =
-  Json.to_file path (of_eventlog ?pid ?process_name ~ncaps log)
+let to_file ?pid ?process_name ?instants ~ncaps log path =
+  Json.to_file path (of_eventlog ?pid ?process_name ?instants ~ncaps log)

@@ -7,9 +7,25 @@
 
 (** [of_eventlog ~ncaps log] builds the JSON document
     ([{"traceEvents": [...], ...}]).  [ncaps] sets how many
-    thread-name metadata records are emitted. *)
+    thread-name metadata records are emitted.  [instants] are extra
+    caller-supplied markers [(ts_ns, name, args)] drawn as
+    thread-scoped instants on track 0 in the ["metrics"] category —
+    the executor uses them to pin periodic metric snapshots onto the
+    timeline (timestamps must share the log's timebase, i.e. be
+    relative to the tracer's epoch). *)
 val of_eventlog :
-  ?pid:int -> ?process_name:string -> ncaps:int -> Eventlog.t -> Repro_util.Json_out.t
+  ?pid:int ->
+  ?process_name:string ->
+  ?instants:(int * string * (string * float) list) list ->
+  ncaps:int ->
+  Eventlog.t ->
+  Repro_util.Json_out.t
 
 val to_file :
-  ?pid:int -> ?process_name:string -> ncaps:int -> Eventlog.t -> string -> unit
+  ?pid:int ->
+  ?process_name:string ->
+  ?instants:(int * string * (string * float) list) list ->
+  ncaps:int ->
+  Eventlog.t ->
+  string ->
+  unit

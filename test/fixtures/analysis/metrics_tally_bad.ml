@@ -1,0 +1,7 @@
+(* seeded metrics-discipline violations: module-level tallies *)
+let hits = ref 0
+module A = Repro_shim.Tatomic.Real
+let misses = A.make 0
+
+let bump () = incr hits; A.incr misses
+let _ = bump

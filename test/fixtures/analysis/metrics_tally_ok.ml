@@ -1,0 +1,15 @@
+(* clean under metrics-discipline: instance-local counters and
+   non-integer module state are all fine *)
+module A = Repro_shim.Tatomic.Real
+
+type t = { hits : int A.t; mutable label : string }
+
+(* per-instance state, created inside a function *)
+let create () = { hits = A.make 0; label = "" }
+
+(* module-level, but not an integer tally *)
+let name = ref "worker"
+let scale = ref 1.5
+
+let bump t = A.incr t.hits
+let _ = (create, bump, name, scale)

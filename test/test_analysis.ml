@@ -25,23 +25,37 @@ let pairs findings =
    unjoined_domain_ignore_bad. *)
 let expectations =
   [
-    ("spark_purity_ref_bad.ml", [ ("spark-purity", 5) ]);
+    ( "spark_purity_ref_bad.ml",
+      [ ("metrics-discipline", 2); ("spark-purity", 5) ] );
     ("spark_purity_helper_bad.ml", [ ("spark-purity", 9) ]);
     ("spark_purity_io_bad.ml", [ ("spark-purity", 3) ]);
     ("spark_purity_raise_bad.ml", [ ("spark-purity", 3) ]);
     ("spark_purity_ok.ml", []);
     ( "dist_submit_bad.ml",
-      [ ("marshal-safety", 9); ("spark-purity", 9); ("spark-purity", 10) ] );
+      [
+        ("metrics-discipline", 3); ("marshal-safety", 9); ("spark-purity", 9);
+        ("spark-purity", 10);
+      ] );
     ("dist_submit_ok.ml", []);
-    ("atomics_raw_bad.ml", [ ("atomics-discipline", 2) ]);
+    ( "atomics_raw_bad.ml",
+      [ ("metrics-discipline", 2); ("atomics-discipline", 2) ] );
     ("atomics_stdlib_bad.ml", [ ("atomics-discipline", 2) ]);
     ("atomics_magic_bad.ml", [ ("atomics-discipline", 2) ]);
     ( "atomics_alias_bad.ml",
-      [ ("atomics-discipline", 3); ("atomics-discipline", 5) ] );
+      [
+        ("atomics-discipline", 3); ("metrics-discipline", 5);
+        ("atomics-discipline", 5);
+      ] );
     ("atomics_open_bad.ml", [ ("atomics-discipline", 2) ]);
     ("atomics_ok.ml", []);
+    ( "metrics_tally_bad.ml",
+      [ ("metrics-discipline", 2); ("metrics-discipline", 4) ] );
+    ("metrics_tally_ok.ml", []);
     ( "dist_ring_raw_atomic_bad.ml",
-      [ ("atomics-discipline", 3); ("atomics-discipline", 4) ] );
+      [
+        ("metrics-discipline", 3); ("atomics-discipline", 3);
+        ("atomics-discipline", 4);
+      ] );
     ("dist_ring_shim_ok.ml", []);
     ("blocking_bad.ml", [ ("blocking-in-worker", 6) ]);
     ("blocking_ok.ml", []);
@@ -159,7 +173,8 @@ let engine_run_aggregates () =
 let rule_ids_stable () =
   check (list string) "registry ids"
     [
-      "spark-purity"; "atomics-discipline"; "blocking-in-worker";
+      "spark-purity"; "atomics-discipline"; "metrics-discipline";
+      "blocking-in-worker";
       "discarded-future"; "unjoined-domain"; "marshal-safety";
       "ring-discipline"; "protocol-exhaustiveness"; "frame-lifetime";
       "fd-leak"; "lost-wakeup";
@@ -173,7 +188,13 @@ let baseline_entry name line rule =
 (* A matching baseline entry silences the finding; removing it brings
    the finding back; an entry that matches nothing is stale. *)
 let baseline_roundtrip () =
-  let findings = scan "spark_purity_ref_bad.ml" in
+  (* the fixture also trips metrics-discipline on its module-level
+     counter; keep just the spark-purity finding for the round trip *)
+  let findings =
+    List.filter
+      (fun (f : Finding.t) -> f.rule = "spark-purity")
+      (scan "spark_purity_ref_bad.ml")
+  in
   check int "one finding to play with" 1 (List.length findings);
   let b =
     Baseline.of_string (baseline_entry "spark_purity_ref_bad.ml" 5 "spark-purity")
@@ -268,7 +289,11 @@ let json_shape () =
    number is wrong, and a wrong hash goes stale like any other
    mismatch. *)
 let baseline_hash_keying () =
-  let findings = scan "spark_purity_ref_bad.ml" in
+  let findings =
+    List.filter
+      (fun (f : Finding.t) -> f.rule = "spark-purity")
+      (scan "spark_purity_ref_bad.ml")
+  in
   let f = List.hd findings in
   check int "engine filled line_hash" 12 (String.length f.Finding.line_hash);
   let entry line hash =
@@ -344,7 +369,7 @@ let cache_invalidation () =
   check
     (list (pair string int))
     "fresh summary carries the new finding"
-    [ ("atomics-discipline", 1) ]
+    [ ("metrics-discipline", 1); ("atomics-discipline", 1) ]
     (List.map (fun (f : Finding.t) -> (f.rule, f.line)) r3.Engine.fresh)
 
 (* The production tree must be clean modulo the checked-in baseline —

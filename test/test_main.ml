@@ -27,5 +27,6 @@ let () =
       Test_experiments.suite;
       Test_analysis.suite;
       Test_tracer.suite;
+      Test_metrics.suite;
       Test_dist.suite;
     ]
