@@ -274,7 +274,7 @@ let strict_health_arg =
         ~doc:
           "Exit 3 when any shutdown health detector triggers (steal-failure \
            storm, spark fizzle ratio, ring backpressure stall, GC pause \
-           budget).")
+           budget, leaked fibers).")
 
 let write_text_file path s =
   let oc = open_out path in
@@ -283,6 +283,108 @@ let write_text_file path s =
     (fun () -> output_string oc s)
 
 (* ---------------- exec: real multicore execution ---------------- *)
+
+(* --fibers: the fiber-runtime stress mode — n fibers over the pool,
+   every one parked on a single gate promise, then all released at
+   once.  Exercises spawn, await/park, mass resume and the drain path
+   at the designed 100k-fibers-on-2-domains operating point, with the
+   same metrics/health plumbing as a workload run (the fiber-leak
+   detector sees the retired live gauge). *)
+let exec_fibers ~hw ~cores ~nfibers ~mfile ~mint ~mom ~strict ~out =
+  let module Fiber = Repro_fiber.Fiber in
+  let module Promise = Repro_fiber.Promise in
+  let module A = Repro_shim.Tatomic.Real in
+  if nfibers < 1 then begin
+    Printf.eprintf "repro-cli: exec: --fibers must be >= 1 (got %d)\n" nfibers;
+    exit 2
+  end;
+  let meta =
+    Repro_util.Json_out.
+      [
+        ("command", Str "exec");
+        ("mode", Str "fibers");
+        ("fibers", Int nfibers);
+        ("cores", Int cores);
+      ]
+  in
+  let sampler =
+    Option.map
+      (fun path ->
+        ( path,
+          MSampler.start ~interval_ms:(max 10 mint)
+            ~on_sample:(fun series -> MExport.write_series ~meta path series)
+            () ))
+      mfile
+  in
+  let t0 = Unix.gettimeofday () in
+  let spawned_in = ref 0. in
+  let stats =
+    Fiber.run ~cores (fun () ->
+        let gate : unit Promise.t = Promise.create () in
+        let ran = A.make 0 in
+        let hs =
+          List.init nfibers (fun i ->
+              Fiber.spawn (fun () ->
+                  Fiber.yield ();
+                  Fiber.await gate;
+                  A.incr ran;
+                  i))
+        in
+        spawned_in := Unix.gettimeofday () -. t0;
+        Promise.fulfil gate ();
+        List.iter (fun h -> ignore (Fiber.join h)) hs;
+        let st = Fiber.stats () in
+        if A.get ran <> nfibers then
+          failwith "fiber stress: not every fiber ran its body";
+        st)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fiber stress: %d fibers over %d domain(s) (%d hardware core(s))\n"
+       nfibers cores hw);
+  Buffer.add_string buf
+    (Printf.sprintf "spawned in %.3f s, all joined in %.3f s (%.0f fibers/s)\n"
+       !spawned_in dt
+       (float_of_int nfibers /. Float.max 1e-9 dt));
+  Buffer.add_string buf
+    (Printf.sprintf "spawned %d  completed %d  cancelled %d  failed %d\n"
+       stats.Fiber.s_spawned stats.Fiber.s_completed stats.Fiber.s_cancelled
+       stats.Fiber.s_failed);
+  Buffer.add_string buf
+    (Printf.sprintf "suspends %d  resumes %d  yields %d  peak live %d\n"
+       stats.Fiber.s_suspends stats.Fiber.s_resumes stats.Fiber.s_yields
+       stats.Fiber.s_high_water);
+  let series =
+    match sampler with
+    | None -> []
+    | Some (spath, s) ->
+        let series = MSampler.stop s in
+        MExport.write_series ~meta spath series;
+        Buffer.add_string buf
+          (Printf.sprintf "wrote %s (%d snapshots)\n" spath
+             (List.length series));
+        series
+  in
+  let final_snap =
+    match List.rev series with s :: _ -> s | [] -> Metrics.snapshot ()
+  in
+  (match mom with
+  | Some path ->
+      write_text_file path (MExport.openmetrics final_snap);
+      Buffer.add_string buf (Printf.sprintf "wrote %s\n" path)
+  | None -> ());
+  let health_code =
+    if mfile <> None || mom <> None || strict then begin
+      let verdicts = MHealth.evaluate final_snap in
+      Buffer.add_string buf (Format.asprintf "%a" MHealth.pp verdicts);
+      if strict then MHealth.exit_code verdicts else 0
+    end
+    else 0
+  in
+  emit out (Buffer.contents buf);
+  if health_code <> 0 then exit health_code
 
 let exec_cmd =
   let module Workload = Repro_exec.Workload in
@@ -359,10 +461,25 @@ let exec_cmd =
              timeline as SVG to $(docv)."
           ~docv:"FILE.svg")
   in
+  let fibers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fibers" ]
+          ~doc:
+            "Fiber-runtime stress mode: spawn $(docv) fibers over \
+             $(b,--cores) domains, park them all on one gate promise, \
+             release and join them (the workload is not run).  Composes \
+             with $(b,--metrics)/$(b,--metrics-om)/$(b,--strict-health)."
+          ~docv:"N")
+  in
   let run (module W : Workload.S) cores size repeat sweep_flag json_file
-      exec_events trace_file trace_svg mfile mint mom strict quick out =
+      exec_events trace_file trace_svg fibers mfile mint mom strict quick out =
     let hw = Domain.recommended_domain_count () in
     let cores = match cores with Some c -> max 1 c | None -> hw in
+    match fibers with
+    | Some nfibers -> exec_fibers ~hw ~cores ~nfibers ~mfile ~mint ~mom ~strict ~out
+    | None ->
     let size =
       match size with
       | Some s ->
@@ -567,7 +684,7 @@ let exec_cmd =
           executor) and report measured wall-clock speedups")
     Term.(
       const run $ workload $ cores $ size $ repeat $ sweep_flag $ json_file
-      $ exec_events $ trace_file $ trace_svg $ metrics_file_arg
+      $ exec_events $ trace_file $ trace_svg $ fibers_arg $ metrics_file_arg
       $ metrics_interval_arg $ metrics_om_arg $ strict_health_arg $ quick
       $ out_file)
 
@@ -1196,7 +1313,19 @@ let top_cmd =
              (tot "repro_ring_doorbell_rings_total")
              (tot "repro_wire_errors_total")
              (tot "repro_tracer_dropped_events_total"
-             +. tot "repro_tracer_lost_runtime_events_total")));
+             +. tot "repro_tracer_lost_runtime_events_total"));
+        let fiber_spawned = tot "repro_fiber_spawned_total" in
+        if fiber_spawned > 0. then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "fibers: %.0f live (peak %.0f)  %.0f spawned %.0f done  \
+                %.0f resumes/s  %.0f yields/s\n"
+               (tot "repro_fiber_live")
+               (tot "repro_fiber_live_max")
+               fiber_spawned
+               (tot "repro_fiber_completed_total")
+               (dtot "repro_fiber_resumes_total" *. 1e9 /. dt_ns)
+               (dtot "repro_fiber_yields_total" *. 1e9 /. dt_ns)));
     Buffer.contents buf
   in
   let run file once interval out =

@@ -507,8 +507,22 @@ let blocking_exempt p = path_has "lib/check/" p
 let sanctioned_blocking_names =
   SSet.of_list [ "fiber_await"; "fiber_yield"; "fiber_suspend" ]
 
-let sanctioned_blocking _file (d : Summary.def) =
-  d.Summary.d_sanctioned || SSet.mem d.Summary.d_name sanctioned_blocking_names
+(* The fiber runtime's suspension points, sanctioned by (file, name):
+   [Fiber.await]/[Fiber.yield]/[Fiber.sleep]/[Fiber.join] park the
+   calling *fiber* — the continuation is captured by the effect handler
+   and the domain moves on to its next task — and [timer_loop] runs on
+   the dedicated timer service domain, never a pool worker.  The
+   blocking primitives behind them (the timer's [Condition.wait], its
+   chunked [Unix.sleepf]) are scheduling machinery, not worker
+   stalls. *)
+let fiber_primitive_names =
+  SSet.of_list [ "await"; "yield"; "sleep"; "join"; "suspend"; "timer_loop" ]
+
+let sanctioned_blocking file (d : Summary.def) =
+  d.Summary.d_sanctioned
+  || SSet.mem d.Summary.d_name sanctioned_blocking_names
+  || Filename.basename file = "fiber.ml"
+     && SSet.mem d.Summary.d_name fiber_primitive_names
 
 let blocking_in_worker =
   let id = "blocking-in-worker" in

@@ -153,15 +153,22 @@ include
       let note_force = Pool.note_force
 
       let idle_wait _is_done idle =
-        Domain.cpu_relax ();
-        if idle > 512 then begin
-          (* Nothing to help with and the producer still runs: yield the
-             OS timeslice so it can (matters when domains outnumber
-             hardware threads).  blocking-in-worker (baselined): this is
-             the designed bounded backoff — 100µs, only after 512 dry
-             spins, never while work is available. *)
-          Unix.sleepf 1e-4;
-          idle
+        (* Inside a fiber, yield the fiber instead of the domain: the
+           forcer's segment goes to the back of its worker's FIFO lane
+           and every other fiber multiplexed there keeps running. *)
+        if !Pool.fiber_yield () then idle
+        else begin
+          Domain.cpu_relax ();
+          if idle > 512 then begin
+            (* Nothing to help with and the producer still runs: yield
+               the OS timeslice so it can (matters when domains
+               outnumber hardware threads).  blocking-in-worker
+               (baselined): this is the designed bounded backoff —
+               100µs, only after 512 dry spins, never while work is
+               available. *)
+            Unix.sleepf 1e-4;
+            idle
+          end
+          else idle + 1
         end
-        else idle + 1
     end)

@@ -1,0 +1,7 @@
+(* a miniature of lib/fiber's public surface: await and sleep park the
+   calling fiber, so the registry sanctions them by (file, name) even
+   without the [@sanctioned_blocking] attribute; drain is no suspension
+   point and gets no such pass *)
+let await m = Mutex.lock m
+let sleep secs = Unix.sleepf secs
+let drain fd = ignore (Unix.select [ fd ] [] [] (-1.0))

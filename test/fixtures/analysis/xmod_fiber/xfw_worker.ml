@@ -1,0 +1,7 @@
+(* fiber-blocking in a worker is fine (the task parks, the domain moves
+   on); the seeded violation is the direct domain-block through drain *)
+let rec worker_loop m fd =
+  Fiber.await m;
+  Fiber.sleep 0.5;
+  Fiber.drain fd;
+  worker_loop m fd

@@ -113,6 +113,9 @@ let group_expectations =
     ("xmod_fdclose", 2, []);
     ("xmod_wakeup", 2, [ ("lost-wakeup", "xmod_wakeup/ws_wait.ml", 5) ]);
     ("xmod_wakeup_ok", 2, []);
+    ( "xmod_fiber",
+      2,
+      [ ("blocking-in-worker", "xmod_fiber/fiber.ml", 7) ] );
   ]
 
 (* strip the fixtures/analysis/ prefix so the tables above stay short *)

@@ -393,6 +393,17 @@ let health_gc_short_run () =
   check Alcotest.bool "short run ignored" false
     (verdict "gc-pause-budget" vs).Health.triggered
 
+let health_fiber_leak =
+  health_rule "fiber-leak"
+    ~trigger:[ ("repro_fiber_spawned_total", 100.); ("repro_fiber_live", 3.) ]
+    ~clear:[ ("repro_fiber_spawned_total", 100.); ("repro_fiber_live", 0.) ]
+
+let health_fiber_leak_needs_fibers () =
+  (* no fibers were ever spawned: a stray live total alone stays quiet *)
+  let vs = Health.evaluate (hsnap [ ("repro_fiber_live", 1.) ]) in
+  check Alcotest.bool "no spawns, no leak verdict" false
+    (verdict "fiber-leak" vs).Health.triggered
+
 let health_clean_exit () =
   check Alcotest.int "clean snapshot exits 0" 0
     (Health.exit_code (Health.evaluate (hsnap [])))
@@ -471,6 +482,9 @@ let suite =
       test_case "health: ring backpressure" `Quick health_backpressure;
       test_case "health: gc budget" `Quick health_gc;
       test_case "health: gc short run" `Quick health_gc_short_run;
+      test_case "health: fiber leak" `Quick health_fiber_leak;
+      test_case "health: fiber leak needs fibers" `Quick
+        health_fiber_leak_needs_fibers;
       test_case "health: clean exit code" `Quick health_clean_exit;
       test_case "pool counters retire into registry" `Quick pool_counters_retire;
       test_case "dist 2-PE piggyback merge" `Quick dist_piggyback_2pe;
